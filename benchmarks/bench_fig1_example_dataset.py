@@ -1,0 +1,57 @@
+"""Figure 1 reproduction: the motivating shape-persistent outlier.
+
+The paper's Figure 1 shows 21 bivariate MFD with one shape-persistent
+outlier that is invisible in the per-parameter (t, x_k) views but
+obvious in the (x1, x2) projection.  This bench regenerates that data
+set, prints the marginal/joint summary that the figure conveys, and
+asserts the figure's point quantitatively:
+
+* marginally, the outlier's values stay inside the inlier envelope
+  (per-t z-scores stay moderate);
+* geometrically, the curvature pipeline isolates it perfectly.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.core.methods import MappedDetectorMethod
+from repro.data import make_fig1_dataset
+from repro.evaluation.metrics import roc_auc
+
+
+def test_fig1_report(benchmark):
+    data, labels = benchmark(make_fig1_dataset, random_state=0)
+    outlier = data.values[20]
+    inliers = data.values[:20]
+
+    # Per-t marginal z-score of the outlier against the inlier cross-sections.
+    mu = inliers.mean(axis=0)
+    sd = inliers.std(axis=0) + 1e-12
+    z = np.abs((outlier - mu) / sd)
+    marginal_range_in = np.abs(inliers).max()
+    marginal_range_out = np.abs(outlier).max()
+
+    method = MappedDetectorMethod("iforest", n_basis=20)
+    idx = np.arange(data.n_samples)
+    scores = method.score_dataset(data, idx, idx, random_state=0)
+    auc = roc_auc(scores, labels)
+    rank = int(np.argsort(-scores).tolist().index(20)) + 1
+
+    print_table(
+        "Figure 1: 21 bivariate MFD, one shape-persistent outlier",
+        ["quantity", "value"],
+        [
+            ["samples (n, m, p)", str(data.values.shape)],
+            ["inlier |x| max", f"{marginal_range_in:.2f}"],
+            ["outlier |x| max", f"{marginal_range_out:.2f} (inside inlier range)"],
+            ["outlier mean marginal |z|", f"{z.mean():.2f}"],
+            ["curvature-pipeline AUC", f"{auc:.3f}"],
+            ["outlier rank by score", f"{rank} / 21"],
+        ],
+    )
+
+    # The figure's claim: not extreme marginally...
+    assert marginal_range_out <= marginal_range_in + 0.3
+    # ...but trivially separated by the geometric representation.
+    assert auc == 1.0
+    assert rank == 1

@@ -1,0 +1,70 @@
+"""Figure 2 reproduction: the curvature mapping illustration.
+
+The paper's Figure 2 explains curvature as the reciprocal radius of the
+tangent circle: slow direction change = large radius = small curvature.
+This bench reproduces the quantitative content on analytic curves with
+known curvature, exercising the full smoothing + Eq. 5 chain:
+
+* circles of radius r  -> kappa = 1/r everywhere,
+* a straight line      -> kappa = 0,
+* an ellipse (a, b)    -> kappa in [b/a^2, a/b^2],
+
+each fitted from sampled noisy points exactly like real data would be.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.fda.basis import BSplineBasis
+from repro.fda.fdata import MFDataGrid
+from repro.fda.smoothing import smooth_mfd
+from repro.geometry.mappings import CurvatureMapping
+
+
+def _fit_curvature(x, y, grid):
+    mfd = MFDataGrid(np.stack([x, y], axis=2)[None] if x.ndim == 1 else np.stack([x, y], axis=2), grid)
+    if mfd.values.ndim != 3:
+        raise AssertionError
+    fit, _ = smooth_mfd(mfd, lambda dom: BSplineBasis(dom, 25), smoothing=1e-6)
+    mapped = CurvatureMapping(regularization=0.0).transform(fit, grid)
+    return mapped.values[:, 10:-10]
+
+
+def test_fig2_report(benchmark):
+    rng = np.random.default_rng(0)
+    grid = np.linspace(0.0, 2.0 * np.pi, 201)
+    rows = []
+
+    def compute_all():
+        results = {}
+        for radius in (0.5, 1.0, 2.0, 4.0):
+            x = radius * np.cos(grid) + 0.002 * rng.standard_normal(201)
+            y = radius * np.sin(grid) + 0.002 * rng.standard_normal(201)
+            kappa = _fit_curvature(x[None], y[None], grid)
+            results[f"circle r={radius}"] = (1.0 / radius, kappa.mean())
+        # Straight line.
+        x = grid.copy()
+        y = 2.0 * grid + 1.0
+        kappa = _fit_curvature(x[None], y[None], grid)
+        results["line"] = (0.0, kappa.mean())
+        # Ellipse a=2, b=1: curvature range [b/a^2, a/b^2] = [0.25, 2].
+        x = 2.0 * np.cos(grid)
+        y = np.sin(grid)
+        kappa = _fit_curvature(x[None], y[None], grid)
+        results["ellipse a=2 b=1 (min)"] = (0.25, kappa.min())
+        results["ellipse a=2 b=1 (max)"] = (2.0, kappa.max())
+        return results
+
+    results = benchmark.pedantic(compute_all, rounds=1, iterations=1)
+
+    for name, (expected, measured) in results.items():
+        rows.append([name, f"{expected:.3f}", f"{measured:.3f}"])
+    print_table(
+        "Figure 2: curvature = 1 / tangent-circle radius",
+        ["curve", "analytic kappa", "measured kappa"],
+        rows,
+    )
+
+    for name, (expected, measured) in results.items():
+        assert measured == pytest.approx(expected, abs=0.05), name

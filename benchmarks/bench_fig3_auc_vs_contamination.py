@@ -1,0 +1,88 @@
+"""Figure 3 reproduction: AUC vs. training contamination level.
+
+Paper protocol (Sec. 4.1): ECG data augmented to bivariate MFD by
+squaring, four methods — Dir.out, FUNTA, iFor(Curvmap), OCSVM(Curvmap) —
+contamination levels c in {5, 10, 15, 20, 25}%, repeated random splits,
+mean ± std test AUC per (method, c).
+
+Expected shape (paper Fig. 3): the two Curvmap methods dominate the two
+depth baselines; OCSVM(Curvmap) degrades as c grows (the ν-tuning
+difficulty the paper describes); Dir.out is flat in c.
+
+Run with ``REPRO_FIG3_REPS=50`` for the paper's full repetition count.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import FIG3_REPS, print_table
+from repro.core.methods import default_methods
+from repro.evaluation.experiment import (
+    PAPER_CONTAMINATION_LEVELS,
+    run_contamination_experiment,
+)
+
+
+def test_fig3_report(benchmark, ecg200_substitute):
+    """Print the Figure 3 series and assert the paper's qualitative shape."""
+    mfd, labels, _ = ecg200_substitute
+
+    def run_experiment():
+        return run_contamination_experiment(
+            mfd,
+            labels,
+            default_methods(),
+            contamination_levels=PAPER_CONTAMINATION_LEVELS,
+            n_repetitions=FIG3_REPS,
+            train_fraction=0.7,
+            random_state=7,
+        )
+
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    levels = table.contamination_levels
+    rows = []
+    for method in table.methods:
+        _, means, stds = table.series(method)
+        rows.append(
+            [method] + [f"{m:.3f} ± {s:.3f}" for m, s in zip(means, stds)]
+        )
+    print_table(
+        f"Figure 3: AUC vs contamination ({FIG3_REPS} repetitions)",
+        ["method"] + [f"c={c:.2f}" for c in levels],
+        rows,
+    )
+
+    # Shape assertions (who wins, robustness, OCSVM degradation).
+    for c in levels:
+        best_baseline = max(table.mean("Dir.out", c), table.mean("FUNTA", c))
+        best_geometric = max(
+            table.mean("iFor(Curvmap)", c), table.mean("OCSVM(Curvmap)", c)
+        )
+        assert best_geometric > best_baseline - 0.02, (
+            f"geometric methods should lead at c={c}"
+        )
+    # OCSVM degrades as c grows (paper Sec. 4.3).
+    assert table.mean("OCSVM(Curvmap)", 0.05) > table.mean("OCSVM(Curvmap)", 0.25)
+    # Dir.out is roughly flat in c.
+    dirout = [table.mean("Dir.out", c) for c in levels]
+    assert max(dirout) - min(dirout) < 0.08
+    # Everything lives in the paper's plotted band.
+    for method in table.methods:
+        for c in levels:
+            assert 0.55 < table.mean(method, c) <= 1.0
+
+
+def test_fig3_single_cell_runtime(benchmark, ecg200_substitute):
+    """Time one (method, split) evaluation — the harness's unit of work."""
+    mfd, labels, _ = ecg200_substitute
+    method = default_methods()[2]  # iFor(Curvmap)
+    state = method.prepare(mfd, random_state=0)
+    from repro.evaluation.splits import contaminated_split
+
+    split = contaminated_split(labels, 0.15, train_fraction=0.7, random_state=0)
+
+    def run_once():
+        return method.fit_score(state, split.train, split.test, random_state=1)
+
+    scores = benchmark(run_once)
+    assert scores.shape == (len(split.test),)

@@ -1,0 +1,95 @@
+"""Performance bench P1 (DESIGN.md): runtime scaling of the components.
+
+Times the pipeline stages with pytest-benchmark so regressions in the
+numerics (B-spline evaluation, SMO, tree building, depth computation)
+are visible.  These are proper repeated-timing benchmarks, unlike the
+figure benches which run their workload once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import GeometricOutlierPipeline
+from repro.data import make_ecg_dataset, square_augment
+from repro.depth import dirout_scores, funta_outlyingness
+from repro.detectors import IsolationForest, OneClassSVM
+from repro.fda.basis import BSplineBasis
+from repro.fda.fdata import FDataGrid
+from repro.fda.smoothing import BasisSmoother
+
+
+@pytest.fixture(scope="module")
+def ecg_small():
+    data, labels, _ = make_ecg_dataset(n_normal=60, n_abnormal=20, random_state=1)
+    return square_augment(data), labels
+
+
+class TestSubstrateBenchmarks:
+    def test_bspline_design_matrix(self, benchmark):
+        basis = BSplineBasis((0.0, 1.0), n_basis=25)
+        points = np.linspace(0, 1, 500)
+        design = benchmark(basis.evaluate, points)
+        assert design.shape == (500, 25)
+
+    def test_bspline_second_derivative(self, benchmark):
+        basis = BSplineBasis((0.0, 1.0), n_basis=25)
+        points = np.linspace(0, 1, 500)
+        design = benchmark(basis.evaluate, points, 2)
+        assert design.shape == (500, 25)
+
+    def test_batch_smoothing_100_curves(self, benchmark, rng_data=None):
+        rng = np.random.default_rng(0)
+        grid = np.linspace(0, 1, 85)
+        data = FDataGrid(rng.standard_normal((100, 85)), grid)
+        smoother = BasisSmoother(BSplineBasis((0.0, 1.0), 20), smoothing=1e-4)
+        fit = benchmark(smoother.fit_grid, data)
+        assert fit.n_samples == 100
+
+
+class TestDetectorBenchmarks:
+    def test_iforest_fit(self, benchmark):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((200, 85))
+        forest = benchmark(lambda: IsolationForest(random_state=0).fit(X))
+        assert forest._psi == 200
+
+    def test_iforest_score(self, benchmark):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((200, 85))
+        forest = IsolationForest(random_state=0).fit(X)
+        scores = benchmark(forest.score_samples, X)
+        assert scores.shape == (200,)
+
+    def test_ocsvm_fit(self, benchmark):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((200, 85))
+        model = benchmark(lambda: OneClassSVM(nu=0.1).fit(X))
+        assert model.support_vectors_.shape[0] >= 0.08 * 200
+
+
+class TestBaselineBenchmarks:
+    def test_funta_80_curves(self, benchmark, ecg_small):
+        mfd, _ = ecg_small
+        scores = benchmark.pedantic(
+            funta_outlyingness, args=(mfd,), rounds=1, iterations=1
+        )
+        assert scores.shape == (80,)
+
+    def test_dirout_80_curves(self, benchmark, ecg_small):
+        mfd, _ = ecg_small
+        scores = benchmark.pedantic(
+            dirout_scores, args=(mfd,), kwargs={"random_state": 0}, rounds=1, iterations=1
+        )
+        assert scores.shape == (80,)
+
+
+class TestPipelineBenchmark:
+    def test_full_pipeline_fit_and_score(self, benchmark, ecg_small):
+        mfd, _ = ecg_small
+        def run():
+            pipeline = GeometricOutlierPipeline(
+                IsolationForest(random_state=0), n_basis=20
+            )
+            return pipeline.fit(mfd).score_samples(mfd)
+        scores = benchmark.pedantic(run, rounds=2, iterations=1)
+        assert scores.shape == (80,)

@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Every bench regenerates one figure (or ablation) of the paper and
+prints the corresponding rows/series.  Scale is controlled by
+environment variables so the default run stays laptop-fast while the
+full paper protocol remains one flag away:
+
+* ``REPRO_FIG3_REPS``  — repetitions per contamination level for the
+  Figure 3 bench (default 15; the paper uses 50).
+* ``REPRO_BENCH_SEED`` — master seed for dataset generation (default 7).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data import make_ecg_dataset, square_augment
+
+FIG3_REPS = int(os.environ.get("REPRO_FIG3_REPS", "15"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render a fixed-width table to stdout (captured by pytest -s)."""
+    widths = [
+        max(len(str(headers[j])), max((len(str(r[j])) for r in rows), default=0))
+        for j in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(widths[j]) for j, h in enumerate(headers))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(widths[j]) for j, cell in enumerate(row)))
+
+
+@pytest.fixture(scope="session")
+def ecg200_substitute():
+    """The ECG-200-sized substitute data set (133 normal / 67 abnormal)."""
+    data, labels, tags = make_ecg_dataset(
+        n_normal=133, n_abnormal=67, random_state=BENCH_SEED
+    )
+    return square_augment(data), np.asarray(labels), tags

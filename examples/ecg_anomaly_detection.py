@@ -1,0 +1,57 @@
+"""ECG anomaly detection — the paper's Section 4 experiment, end to end.
+
+Reproduces the full experimental protocol at a configurable scale:
+
+1. build the ECG substitute data set (133 normal / 67 abnormal beats,
+   85 samples each — ECG200 dimensions);
+2. augment the univariate series to bivariate MFD by squaring
+   (paper Sec. 4.1);
+3. evaluate Dir.out, FUNTA, iFor(Curvmap) and OCSVM(Curvmap) over
+   contaminated train/test splits at c in {5, ..., 25}%;
+4. print the Figure 3 table.
+
+Run:  python examples/ecg_anomaly_detection.py [n_repetitions]
+"""
+
+import sys
+
+from repro import (
+    default_methods,
+    make_ecg_dataset,
+    run_contamination_experiment,
+    square_augment,
+)
+
+
+def main(n_repetitions: int = 10) -> None:
+    data, labels, tags = make_ecg_dataset(
+        n_normal=133, n_abnormal=67, random_state=7
+    )
+    mfd = square_augment(data)
+    archetypes = sorted({t for t in tags if t != "normal"})
+    print(f"ECG substitute: {data.n_samples} beats x {data.n_points} samples, "
+          f"{labels.sum()} abnormal")
+    print(f"abnormal archetypes present: {', '.join(archetypes)}\n")
+
+    table = run_contamination_experiment(
+        mfd,
+        labels,
+        default_methods(),
+        n_repetitions=n_repetitions,
+        train_fraction=0.7,
+        random_state=7,
+    )
+    print(table.to_text())
+
+    print(
+        "\nReading the table (paper Sec. 4.3): the Curvmap methods lead the "
+        "depth baselines; OCSVM(Curvmap) degrades as c grows because its "
+        "nu parameter estimates the training contamination and becomes "
+        "hard to tune; FUNTA trails because it only detects persistent "
+        "shape outliers while the abnormal class is of mixed type."
+    )
+
+
+if __name__ == "__main__":
+    reps = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    main(reps)

@@ -1,0 +1,83 @@
+"""Engine sensor monitoring — the paper's motivating industrial scenario.
+
+The introduction motivates MFD outlier detection with complex-system
+monitoring (the first author works on aircraft engines): p correlated
+sensor channels per test run, and a fault that shows up as an *abnormal
+relationship between channels* rather than an extreme value on any one
+of them.
+
+This example simulates that setting with a p = 3 system:
+
+* channel 1 — shaft speed-like slow oscillation,
+* channel 2 — temperature-like response that lags channel 1,
+* channel 3 — pressure-like mixture of both,
+
+where faulty runs have a broken lag between channels 1 and 2 (e.g. a
+degraded thermal path).  All marginal ranges stay normal — classical
+per-channel threshold monitoring sees nothing — but the run's path in
+R^3 bends differently, and the curvature pipeline flags it.
+
+Run:  python examples/engine_sensor_monitoring.py
+"""
+
+import numpy as np
+
+from repro import GeometricOutlierPipeline, IsolationForest, roc_auc
+from repro.data.noise import smooth_gaussian_process, white_noise
+from repro.fda import MFDataGrid
+
+
+def simulate_runs(n_normal: int = 60, n_faulty: int = 6, n_points: int = 120,
+                  random_state: int = 0):
+    """Simulate engine test runs as p = 3 multivariate functional data."""
+    rng = np.random.default_rng(random_state)
+    grid = np.linspace(0.0, 1.0, n_points)
+    runs = np.empty((n_normal + n_faulty, n_points, 3))
+    labels = np.r_[np.zeros(n_normal, dtype=int), np.ones(n_faulty, dtype=int)]
+
+    for i in range(n_normal + n_faulty):
+        faulty = labels[i] == 1
+        # Healthy thermal lag ~ 0.08; the fault breaks the coupling.
+        lag = rng.uniform(0.06, 0.10) if not faulty else rng.uniform(0.18, 0.25)
+        phase = rng.uniform(-0.1, 0.1)
+        speed = np.sin(2 * np.pi * (grid + phase))
+        temperature = 0.9 * np.sin(2 * np.pi * (grid + phase - lag))
+        pressure = 0.5 * speed + 0.5 * temperature
+        channels = np.stack([speed, temperature, pressure], axis=1)
+        drift = smooth_gaussian_process(
+            3, grid, amplitude=0.05, length_scale=0.3, random_state=rng
+        ).T
+        noise = white_noise(3, grid, sigma=0.02, random_state=rng).T
+        runs[i] = channels + drift + noise
+    return MFDataGrid(runs, grid), labels
+
+
+def main() -> None:
+    data, labels = simulate_runs()
+    print(f"simulated {data.n_samples} test runs, p={data.n_parameters} channels, "
+          f"{labels.sum()} faulty")
+
+    # Per-channel extreme-value check (what classical monitoring does):
+    per_channel_max = np.abs(data.values).max(axis=1)  # (n, p)
+    healthy_envelope = per_channel_max[labels == 0].max(axis=0)
+    flagged_by_threshold = (per_channel_max[labels == 1] > healthy_envelope).any()
+    print(f"any faulty run beyond the healthy per-channel envelope? "
+          f"{flagged_by_threshold}")
+
+    # The geometric pipeline on the R^3 paths.
+    pipeline = GeometricOutlierPipeline(
+        IsolationForest(n_estimators=200, random_state=0)
+    )
+    scores = pipeline.fit(data).score_samples(data)
+    auc = roc_auc(scores, labels)
+    ranks = np.argsort(-scores)
+    top = ranks[: labels.sum()]
+    print(f"curvature-pipeline AUC: {auc:.3f}")
+    print(f"faulty runs found in top-{labels.sum()}: {labels[top].sum()} / {labels.sum()}")
+
+    assert not flagged_by_threshold, "fault should be invisible to thresholds"
+    assert auc > 0.9
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Quickstart: detect outliers in multivariate functional data.
+
+This is the 60-second tour of the library: generate a labelled MFD data
+set, run the paper's pipeline (B-spline smoothing -> curvature mapping
+-> Isolation Forest), and evaluate the ranking.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    CurvatureMapping,
+    GeometricOutlierPipeline,
+    IsolationForest,
+    make_taxonomy_dataset,
+    roc_auc,
+)
+
+
+def main() -> None:
+    # 1. Data: 60 bivariate inlier paths (near-circles in R^2) plus 8
+    #    correlation-breaking outliers — their marginals x1(t), x2(t)
+    #    look perfectly typical; only the joint path is wrong.
+    data, labels = make_taxonomy_dataset(
+        "correlation", n_inliers=60, n_outliers=8, random_state=0
+    )
+    print(f"dataset: n={data.n_samples} samples, m={data.n_points} points, "
+          f"p={data.n_parameters} parameters, {labels.sum()} outliers")
+
+    # 2. The paper's method: smooth each parameter into a B-spline basis
+    #    (size chosen by leave-one-out CV), map each sample to its
+    #    curvature function kappa(t) (Eq. 5), feed the mapped curves to a
+    #    multivariate outlier detector.
+    pipeline = GeometricOutlierPipeline(
+        detector=IsolationForest(n_estimators=200, random_state=0),
+        mapping=CurvatureMapping(),
+    )
+    pipeline.fit(data)
+    print(f"selected basis sizes per parameter: {pipeline.selected_n_basis_}")
+
+    # 3. Score: higher = more anomalous.
+    scores = pipeline.score_samples(data)
+    auc = roc_auc(scores, labels)
+    print(f"AUC = {auc:.3f}")
+
+    top = np.argsort(-scores)[: labels.sum()]
+    hits = labels[top].sum()
+    print(f"top-{labels.sum()} scored samples contain {hits} of the "
+          f"{labels.sum()} true outliers")
+
+    assert auc > 0.9, "the correlation outliers should be clearly separated"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Sparse, irregular sensor sampling (paper Sec. 2).
+
+"No assumption is made on the distribution of the measurement points,
+thus the functional data representation can deal with sparse
+measurements as well as uniform ones."
+
+This example simulates an acquisition system in which every run is
+sampled at its own irregular time points (event-driven logging, packet
+loss, variable sampling rates) and shows the complete workflow:
+
+  IrregularFData -> penalized B-spline fits -> common evaluation grid
+  -> curvature mapping -> detector,
+
+with a correlation fault planted in a few runs.
+
+Run:  python examples/sparse_sensors.py
+"""
+
+import numpy as np
+
+from repro import roc_auc
+from repro.detectors import KNNDetector
+from repro.fda import (
+    BasisSmoother,
+    BSplineBasis,
+    IrregularFData,
+    MultivariateBasisFData,
+)
+from repro.geometry import CurvatureMapping
+
+
+def simulate(n_normal=40, n_faulty=5, random_state=0):
+    rng = np.random.default_rng(random_state)
+    points, x1_values, x2_values = [], [], []
+    labels = []
+    for i in range(n_normal + n_faulty):
+        faulty = i >= n_normal
+        m = int(rng.integers(35, 70))  # each run has its own sample count
+        t = np.sort(rng.uniform(0.0, 1.0, m))
+        t[0], t[-1] = 0.0, 1.0
+        phase = rng.uniform(-0.1, 0.1)
+        delta = rng.uniform(0.9, 1.2) if faulty else 0.0  # broken coupling
+        arg = 2 * np.pi * t + phase
+        x1 = 2 * np.sin(arg) + 0.03 * rng.standard_normal(m)
+        x2 = 2 * np.cos(arg + delta) + 0.03 * rng.standard_normal(m)
+        points.append(t)
+        x1_values.append(x1)
+        x2_values.append(x2)
+        labels.append(int(faulty))
+    return points, x1_values, x2_values, np.array(labels)
+
+
+def main() -> None:
+    points, x1_values, x2_values, labels = simulate()
+    sizes = sorted(len(t) for t in points)
+    print(f"{len(points)} runs, per-run sample counts from {sizes[0]} to {sizes[-1]} "
+          f"(no common grid), {labels.sum()} faulty")
+
+    # Fit each parameter from its irregular observations.
+    basis = BSplineBasis((0.0, 1.0), n_basis=14)
+    smoother = BasisSmoother(basis, smoothing=1e-4)
+    fit = MultivariateBasisFData([
+        smoother.fit_irregular(IrregularFData(points, x1_values)),
+        smoother.fit_irregular(IrregularFData(points, x2_values)),
+    ])
+
+    # Everything downstream is identical to the common-grid case.
+    eval_grid = np.linspace(0.0, 1.0, 85)
+    kappa = CurvatureMapping().transform(fit, eval_grid)
+    features = np.sign(kappa.values) * np.log1p(np.abs(kappa.values))
+
+    detector = KNNDetector(5).fit(features[labels == 0])
+    scores = detector.score_samples(features)
+    auc = roc_auc(scores, labels)
+    print(f"curvature-pipeline AUC from irregular samples: {auc:.3f}")
+    assert auc > 0.95
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs on environments without the
+`wheel` package (PEP 660 editable builds require bdist_wheel)."""
+from setuptools import setup
+
+setup()

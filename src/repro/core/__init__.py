@@ -1,0 +1,24 @@
+"""The paper's contribution: the geometric-aggregation pipeline and methods."""
+
+from repro.core.methods import (
+    DirOutMethod,
+    FuntaMethod,
+    MappedDetectorMethod,
+    Method,
+    default_methods,
+    make_method,
+)
+from repro.core.ensemble import CompositionReport, OutlierCompositionEnsemble
+from repro.core.pipeline import GeometricOutlierPipeline
+
+__all__ = [
+    "CompositionReport",
+    "DirOutMethod",
+    "OutlierCompositionEnsemble",
+    "FuntaMethod",
+    "GeometricOutlierPipeline",
+    "MappedDetectorMethod",
+    "Method",
+    "default_methods",
+    "make_method",
+]

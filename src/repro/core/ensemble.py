@@ -1,0 +1,169 @@
+"""Interpretable per-class ensemble — the paper's future work (Sec. 5).
+
+The conclusion sketches a path toward *interpreting* a detected outlier:
+"first … detect some specific outliers with depth functions, second …
+train outlier detection algorithms (combined with a mapping function) on
+training sets containing each one a unique class of outlier … and then
+average all the models trained to form an ensemble one.  As a result,
+one could know which model(s) in the ensemble most contribute to the
+outlyingness and deduce the outlyingness composition."
+
+:class:`OutlierCompositionEnsemble` implements that proposal:
+
+* one member pipeline per outlier class, each fitted on an inlier set
+  *contaminated only with that class* (so each member specializes in
+  separating its class from the common inlier population);
+* the ensemble score is the average of the members' standardized scores;
+* :meth:`composition` returns, per sample, each member's share of the
+  total outlyingness — the "outlyingness composition" the paper wants.
+
+Member scores are standardized on the inlier training scores (median /
+IQR) so that shares are comparable across members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import GeometricOutlierPipeline
+from repro.detectors.iforest import IsolationForest
+from repro.exceptions import NotFittedError, ValidationError
+from repro.fda.fdata import MFDataGrid
+from repro.geometry.base import MappingFunction
+from repro.utils.random import check_random_state
+
+__all__ = ["OutlierCompositionEnsemble", "CompositionReport"]
+
+
+@dataclass(frozen=True)
+class CompositionReport:
+    """Per-sample outlyingness decomposition.
+
+    Attributes
+    ----------
+    total:
+        Ensemble outlyingness score per sample, shape ``(n,)``.
+    shares:
+        Non-negative matrix ``(n, n_members)``; each row sums to 1 when
+        the row's total standardized outlyingness is positive.
+    members:
+        Class label of each member, in column order.
+    """
+
+    total: np.ndarray
+    shares: np.ndarray
+    members: list
+
+    def dominant_class(self, index: int) -> str:
+        """The member class contributing most to sample ``index``."""
+        return self.members[int(np.argmax(self.shares[index]))]
+
+
+class OutlierCompositionEnsemble:
+    """Ensemble of per-outlier-class geometric pipelines.
+
+    Parameters
+    ----------
+    class_names:
+        One label per member (e.g. taxonomy class names).
+    mapping:
+        Shared mapping function; ``None`` = curvature.
+    n_basis, smoothing:
+        Passed to each member pipeline.
+    detector_factory:
+        ``(random_state) -> OutlierDetector`` for member heads; defaults
+        to a 200-tree Isolation Forest.
+    random_state:
+        Master seed; each member gets an independent stream.
+    """
+
+    def __init__(
+        self,
+        class_names: list[str],
+        mapping: MappingFunction | None = None,
+        n_basis=None,
+        smoothing: float = 1e-4,
+        detector_factory=None,
+        random_state=None,
+    ):
+        if not class_names:
+            raise ValidationError("need at least one member class")
+        if len(set(class_names)) != len(class_names):
+            raise ValidationError("member class names must be unique")
+        self.class_names = list(class_names)
+        self.mapping = mapping
+        self.n_basis = n_basis
+        self.smoothing = smoothing
+        if detector_factory is None:
+            detector_factory = lambda rs: IsolationForest(
+                n_estimators=200, random_state=rs
+            )
+        self.detector_factory = detector_factory
+        self.random_state = random_state
+        self._members: dict[str, GeometricOutlierPipeline] = {}
+        self._centers: dict[str, float] = {}
+        self._scales: dict[str, float] = {}
+        self._fitted = False
+
+    def fit(self, training_sets: dict[str, MFDataGrid]) -> "OutlierCompositionEnsemble":
+        """Fit one member per class.
+
+        Parameters
+        ----------
+        training_sets:
+            Mapping class name -> MFD training set whose contamination is
+            (predominantly) of that single class, as the paper proposes
+            (obtained e.g. from depth-based pre-detection).
+        """
+        missing = set(self.class_names) - set(training_sets)
+        if missing:
+            raise ValidationError(f"missing training sets for classes: {sorted(missing)}")
+        rng = check_random_state(self.random_state)
+        self._members.clear()
+        for name in self.class_names:
+            seed = int(rng.integers(0, 2**31 - 1))
+            pipeline = GeometricOutlierPipeline(
+                detector=self.detector_factory(seed),
+                mapping=self.mapping,
+                n_basis=self.n_basis,
+                smoothing=self.smoothing,
+            )
+            pipeline.fit(training_sets[name])
+            train_scores = pipeline.score_samples(training_sets[name])
+            center = float(np.median(train_scores))
+            q75, q25 = np.percentile(train_scores, [75, 25])
+            scale = float(q75 - q25) or float(np.std(train_scores)) or 1.0
+            self._members[name] = pipeline
+            self._centers[name] = center
+            self._scales[name] = scale
+        self._fitted = True
+        return self
+
+    def _member_scores(self, data: MFDataGrid) -> np.ndarray:
+        if not self._fitted:
+            raise NotFittedError("ensemble is not fitted")
+        columns = []
+        for name in self.class_names:
+            raw = self._members[name].score_samples(data)
+            columns.append((raw - self._centers[name]) / self._scales[name])
+        return np.column_stack(columns)
+
+    def score_samples(self, data: MFDataGrid) -> np.ndarray:
+        """Ensemble outlyingness: mean standardized member score."""
+        return self._member_scores(data).mean(axis=1)
+
+    def composition(self, data: MFDataGrid) -> CompositionReport:
+        """Decompose each sample's outlyingness over the member classes."""
+        standardized = self._member_scores(data)
+        positive = np.maximum(standardized, 0.0)
+        totals = positive.sum(axis=1)
+        shares = np.zeros_like(positive)
+        nonzero = totals > 1e-12
+        shares[nonzero] = positive[nonzero] / totals[nonzero, None]
+        return CompositionReport(
+            total=standardized.mean(axis=1),
+            shares=shares,
+            members=list(self.class_names),
+        )

@@ -1,0 +1,26 @@
+"""Data generators: ECG substitute, outlier-taxonomy MFD, augmentation, noise."""
+
+from repro.data.augment import derivative_augment, power_augment, square_augment
+from repro.data.ecg import ECGGenerator, ECGWave, make_ecg_dataset
+from repro.data.noise import smooth_gaussian_process, white_noise
+from repro.data.synthetic import (
+    OUTLIER_CLASSES,
+    SyntheticMFD,
+    make_fig1_dataset,
+    make_taxonomy_dataset,
+)
+
+__all__ = [
+    "ECGGenerator",
+    "ECGWave",
+    "OUTLIER_CLASSES",
+    "SyntheticMFD",
+    "derivative_augment",
+    "make_ecg_dataset",
+    "make_fig1_dataset",
+    "make_taxonomy_dataset",
+    "power_augment",
+    "smooth_gaussian_process",
+    "square_augment",
+    "white_noise",
+]

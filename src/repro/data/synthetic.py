@@ -1,0 +1,191 @@
+"""Synthetic MFD generators covering the functional-outlier taxonomy.
+
+Hubert, Rousseeuw & Segaert (2015) — the taxonomy the paper adopts
+(Sec. 1.1) — distinguish *isolated* outliers (extreme for very few t:
+magnitude peaks, shifts) from *persistent* outliers (never extreme but
+deviating for many t: shape, amplitude), plus *mixed* types.  Each
+generator here produces a bivariate (p = 2) MFD population with inliers
+from a common smooth process and outliers of exactly one class — the
+setup used by the per-class ablation bench (DESIGN.md A3) — and
+:func:`make_fig1_dataset` rebuilds the paper's Figure 1.
+
+Inlier model (shared):
+
+    x_i1(t) = 2 sin(2 pi t + phi_i) + GP_i(t)
+    x_i2(t) = 2 cos(2 pi t + phi_i) + GP'_i(t)
+
+small random phase ``phi_i`` and smooth low-amplitude GP disturbances —
+paths are near-circles in R^2 whose parameters are strongly
+cross-correlated, so correlation-breaking outliers are *invisible*
+marginally (the paper's issue (3) scenario).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.noise import smooth_gaussian_process, white_noise
+from repro.exceptions import ValidationError
+from repro.fda.fdata import MFDataGrid
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_in_range, check_int
+
+__all__ = ["OUTLIER_CLASSES", "SyntheticMFD", "make_taxonomy_dataset", "make_fig1_dataset"]
+
+OUTLIER_CLASSES = (
+    "magnitude_isolated",
+    "shift_isolated",
+    "shape_persistent",
+    "amplitude_persistent",
+    "correlation",
+    "mixed",
+)
+
+
+@dataclass
+class SyntheticMFD:
+    """Bivariate synthetic MFD factory with labelled outlier classes.
+
+    Parameters
+    ----------
+    n_points:
+        Grid resolution on [0, 1].
+    noise_sigma:
+        White measurement noise added to both parameters.
+    gp_amplitude:
+        Amplitude of the smooth inlier-to-inlier variation.
+    random_state:
+        Seed or generator.
+    """
+
+    n_points: int = 85
+    noise_sigma: float = 0.03
+    gp_amplitude: float = 0.15
+    random_state: object = None
+
+    def __post_init__(self):
+        self.n_points = check_int(self.n_points, "n_points", minimum=8)
+        self._rng = check_random_state(self.random_state)
+        self.grid = np.linspace(0.0, 1.0, self.n_points)
+
+    # ------------------------------------------------------------------ inliers
+    def _base_pair(self, rng, phase=None) -> tuple[np.ndarray, np.ndarray]:
+        phi = rng.uniform(-0.15, 0.15) if phase is None else phase
+        arg = 2.0 * np.pi * self.grid + phi
+        x1 = 2.0 * np.sin(arg)
+        x2 = 2.0 * np.cos(arg)
+        return x1, x2
+
+    def _disturb(self, curve: np.ndarray, rng) -> np.ndarray:
+        smooth = smooth_gaussian_process(
+            1, self.grid, amplitude=self.gp_amplitude, length_scale=0.25, random_state=rng
+        )[0]
+        rough = white_noise(1, self.grid, sigma=self.noise_sigma, random_state=rng)[0]
+        return curve + smooth + rough
+
+    def inliers(self, n_samples: int) -> np.ndarray:
+        """Inlier paths → ``(n, n_points, 2)``."""
+        n_samples = check_int(n_samples, "n_samples", minimum=1)
+        out = np.empty((n_samples, self.n_points, 2))
+        for i in range(n_samples):
+            x1, x2 = self._base_pair(self._rng)
+            out[i, :, 0] = self._disturb(x1, self._rng)
+            out[i, :, 1] = self._disturb(x2, self._rng)
+        return out
+
+    # ------------------------------------------------------------------ outliers
+    def _outlier_pair(self, kind: str, rng) -> tuple[np.ndarray, np.ndarray]:
+        x1, x2 = self._base_pair(rng)
+        t = self.grid
+        if kind == "magnitude_isolated":
+            # Narrow extreme peak on one parameter for very few t.
+            center = rng.uniform(0.2, 0.8)
+            peak = rng.uniform(2.0, 3.0) * np.exp(-0.5 * ((t - center) / 0.015) ** 2)
+            x1 = x1 + peak * rng.choice([-1.0, 1.0])
+        elif kind == "shift_isolated":
+            # Horizontal translation: extreme only near steep segments.
+            shift = rng.uniform(0.05, 0.09) * rng.choice([-1.0, 1.0])
+            arg = 2.0 * np.pi * (t + shift)
+            x1 = 2.0 * np.sin(arg)
+            x2 = 2.0 * np.cos(arg)
+        elif kind == "shape_persistent":
+            # Lissajous path: same amplitude envelope, different *path
+            # image* in R^2 (a figure-eight instead of a circle) — never
+            # extreme pointwise.  Note: a pure frequency change on the
+            # same circle would be invisible to the curvature (which is
+            # parametrization invariant); a shape outlier must bend the
+            # path itself.
+            phase = rng.uniform(-0.15, 0.15)
+            x1 = 2.0 * np.sin(2.0 * np.pi * t + phase)
+            x2 = 2.0 * np.cos(4.0 * np.pi * t + phase)
+        elif kind == "amplitude_persistent":
+            scale = rng.uniform(1.25, 1.45)
+            x1, x2 = scale * x1, scale * x2
+        elif kind == "correlation":
+            # Break the sin/cos phase relation: both marginals stay
+            # typical, only the joint path (an ellipse collapsing to a
+            # segment) is atypical — the paper's mixed/correlation case.
+            phi = rng.uniform(-0.15, 0.15)
+            arg = 2.0 * np.pi * t + phi
+            x1 = 2.0 * np.sin(arg)
+            x2 = 2.0 * np.cos(arg + rng.uniform(0.8, 1.2) * rng.choice([-1.0, 1.0]))
+        elif kind == "mixed":
+            # Persistent shape (Lissajous path) + isolated magnitude peak.
+            phase = rng.uniform(-0.15, 0.15)
+            x1 = 2.0 * np.sin(2.0 * np.pi * t + phase)
+            x2 = 2.0 * np.cos(4.0 * np.pi * t + phase)
+            center = rng.uniform(0.3, 0.7)
+            x2 = x2 + rng.uniform(1.5, 2.5) * np.exp(-0.5 * ((t - center) / 0.015) ** 2)
+        else:
+            raise ValidationError(
+                f"unknown outlier class {kind!r}; choose from {OUTLIER_CLASSES}"
+            )
+        return x1, x2
+
+    def outliers(self, n_samples: int, kind: str) -> np.ndarray:
+        """Outlier paths of one taxonomy class → ``(n, n_points, 2)``."""
+        n_samples = check_int(n_samples, "n_samples", minimum=1)
+        out = np.empty((n_samples, self.n_points, 2))
+        for i in range(n_samples):
+            x1, x2 = self._outlier_pair(kind, self._rng)
+            out[i, :, 0] = self._disturb(x1, self._rng)
+            out[i, :, 1] = self._disturb(x2, self._rng)
+        return out
+
+
+def make_taxonomy_dataset(
+    kind: str,
+    n_inliers: int = 100,
+    n_outliers: int = 10,
+    n_points: int = 85,
+    random_state=None,
+) -> tuple[MFDataGrid, np.ndarray]:
+    """One population with outliers of a single taxonomy class.
+
+    Returns ``(data, labels)`` with labels 0 = inlier, 1 = outlier
+    (outliers last).
+    """
+    factory = SyntheticMFD(n_points=n_points, random_state=random_state)
+    inliers = factory.inliers(n_inliers)
+    outliers = factory.outliers(n_outliers, kind)
+    values = np.concatenate([inliers, outliers], axis=0)
+    labels = np.concatenate([np.zeros(n_inliers, dtype=int), np.ones(n_outliers, dtype=int)])
+    return MFDataGrid(values, factory.grid), labels
+
+
+def make_fig1_dataset(random_state=0) -> tuple[MFDataGrid, np.ndarray]:
+    """Rebuild the paper's Figure 1: 21 bivariate MFD, one shape outlier.
+
+    20 inliers follow the common near-circular path; the 21st is a
+    shape-persistent outlier whose values stay inside the inlier range
+    for every ``t`` (it is invisible in either marginal plot but obvious
+    in the (x1, x2) projection — the figure's point).
+    """
+    factory = SyntheticMFD(n_points=101, noise_sigma=0.02, random_state=random_state)
+    inliers = factory.inliers(20)
+    outlier = factory.outliers(1, "shape_persistent")
+    values = np.concatenate([inliers, outlier], axis=0)
+    labels = np.concatenate([np.zeros(20, dtype=int), np.ones(1, dtype=int)])
+    return MFDataGrid(values, factory.grid), labels

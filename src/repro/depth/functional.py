@@ -1,0 +1,149 @@
+"""Functional depth: pointwise depths aggregated over ``t``.
+
+This module implements the depth-based MFD machinery the paper reviews
+(Sec. 1.2) — and whose failure modes (issues (1)–(3)) motivate the
+geometric alternative:
+
+* the **integrated** aggregation (Fraiman–Muniz 2001 for UFD; Claeskens
+  et al. 2014 for MFD): the sample depth is the integral over ``t`` of
+  the pointwise depth — an *average* that can mask isolated outliers
+  (issue (2));
+* the **infimum** aggregation, the remedy the paper mentions for
+  issue (2);
+* the **modified band depth** (López-Pintado & Romo 2009), a popular
+  UFD depth included for completeness and for the taxonomy benches.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable
+
+import numpy as np
+
+from repro.depth import multivariate as mvdepth
+from repro.exceptions import ValidationError
+from repro.fda.fdata import FDataGrid, MFDataGrid
+from repro.fda.quadrature import trapezoid_weights
+from repro.utils.validation import check_grid
+
+__all__ = [
+    "pointwise_depth_profile",
+    "aggregate_depth",
+    "functional_depth",
+    "univariate_integrated_depth",
+    "modified_band_depth",
+]
+
+_POINTWISE: dict[str, Callable] = {
+    "projection": mvdepth.projection_depth,
+    "halfspace": mvdepth.halfspace_depth,
+    "mahalanobis": mvdepth.mahalanobis_depth,
+    "spatial": mvdepth.spatial_depth,
+    "simplicial": mvdepth.simplicial_depth,
+}
+
+
+def pointwise_depth_profile(
+    data: MFDataGrid,
+    reference: MFDataGrid | None = None,
+    notion: str = "projection",
+    **depth_kwargs,
+) -> np.ndarray:
+    """Depth of every sample at every grid point → ``(n_samples, n_points)``.
+
+    At each ``t`` the cross-section ``{X_i(t)}`` of ``reference``
+    (default: the data themselves) forms a cloud in R^p and the chosen
+    pointwise depth is evaluated on it.
+    """
+    if not isinstance(data, MFDataGrid):
+        raise ValidationError(f"data must be MFDataGrid, got {type(data).__name__}")
+    if reference is None:
+        reference = data
+    if reference.n_points != data.n_points or not np.allclose(reference.grid, data.grid):
+        raise ValidationError("data and reference must share a grid")
+    if notion not in _POINTWISE:
+        raise ValidationError(
+            f"unknown depth notion {notion!r}; choose from {sorted(_POINTWISE)}"
+        )
+    depth_fn = _POINTWISE[notion]
+    profile = np.empty((data.n_samples, data.n_points))
+    for j in range(data.n_points):
+        cloud = reference.values[:, j, :]
+        pts = data.values[:, j, :]
+        profile[:, j] = depth_fn(pts, cloud, **depth_kwargs)
+    return profile
+
+
+def aggregate_depth(profile: np.ndarray, grid, aggregation: str = "integral") -> np.ndarray:
+    """Aggregate pointwise depths to sample depths.
+
+    ``"integral"``: normalized integral over T (average depth — the
+    classical extension); ``"infimum"``: worst pointwise depth (robust
+    to isolated masking, paper issue (2)).
+    """
+    grid = check_grid(grid, "grid")
+    profile = np.asarray(profile, dtype=np.float64)
+    if profile.ndim != 2 or profile.shape[1] != grid.shape[0]:
+        raise ValidationError(
+            f"profile shape {profile.shape} incompatible with grid length {grid.shape[0]}"
+        )
+    if aggregation == "integral":
+        weights = trapezoid_weights(grid)
+        return (profile @ weights) / (grid[-1] - grid[0])
+    if aggregation == "infimum":
+        return profile.min(axis=1)
+    raise ValidationError(
+        f"unknown aggregation {aggregation!r}; use 'integral' or 'infimum'"
+    )
+
+
+def functional_depth(
+    data: MFDataGrid,
+    reference: MFDataGrid | None = None,
+    notion: str = "projection",
+    aggregation: str = "integral",
+    **depth_kwargs,
+) -> np.ndarray:
+    """Sample-level functional depth of MFD (higher = more central)."""
+    profile = pointwise_depth_profile(data, reference, notion, **depth_kwargs)
+    ref = data if reference is None else reference
+    return aggregate_depth(profile, ref.grid, aggregation)
+
+
+def univariate_integrated_depth(
+    data: FDataGrid, reference: FDataGrid | None = None, aggregation: str = "integral"
+) -> np.ndarray:
+    """Fraiman–Muniz depth of UFD: integrated univariate halfspace depth."""
+    if not isinstance(data, FDataGrid):
+        raise ValidationError(f"data must be FDataGrid, got {type(data).__name__}")
+    mfd = data.to_multivariate()
+    ref = reference.to_multivariate() if reference is not None else None
+    return functional_depth(mfd, ref, notion="halfspace", aggregation=aggregation)
+
+
+def modified_band_depth(data: FDataGrid, reference: FDataGrid | None = None) -> np.ndarray:
+    """Modified band depth (J = 2) of univariate functional data.
+
+    ``MBD_i`` is the average, over reference-curve pairs ``{j, k}`` and
+    grid points ``t``, of the indicator that ``x_i(t)`` lies inside the
+    band ``[min(x_j, x_k)(t), max(x_j, x_k)(t)]``.
+    """
+    if not isinstance(data, FDataGrid):
+        raise ValidationError(f"data must be FDataGrid, got {type(data).__name__}")
+    if reference is None:
+        reference = data
+    if reference.n_points != data.n_points or not np.allclose(reference.grid, data.grid):
+        raise ValidationError("data and reference must share a grid")
+    ref = reference.values
+    n_ref = ref.shape[0]
+    if n_ref < 2:
+        raise ValidationError("modified_band_depth needs at least 2 reference curves")
+    pairs = list(combinations(range(n_ref), 2))
+    depth = np.zeros(data.n_samples)
+    for j, k in pairs:
+        lower = np.minimum(ref[j], ref[k])
+        upper = np.maximum(ref[j], ref[k])
+        inside = (data.values >= lower[None, :]) & (data.values <= upper[None, :])
+        depth += inside.mean(axis=1)
+    return depth / len(pairs)

@@ -1,0 +1,49 @@
+"""Multivariate outlier detection algorithms (paper Sec. 3–4).
+
+The paper applies Isolation Forest and One-Class SVM to the mapped
+curves; both are implemented here from their original papers (no
+scikit-learn dependency), alongside extension detectors used in the
+ablation benches.
+"""
+
+from repro.detectors.base import OutlierDetector
+from repro.detectors.iforest import IsolationForest, average_path_length
+from repro.detectors.kernels import (
+    linear_kernel,
+    make_kernel,
+    polynomial_kernel,
+    rbf_kernel,
+    resolve_gamma,
+    sigmoid_kernel,
+)
+from repro.detectors.knn import KNNDetector
+from repro.detectors.lof import LocalOutlierFactor
+from repro.detectors.mahalanobis import MahalanobisDetector
+from repro.detectors.ocsvm import OneClassSVM, smo_solve
+from repro.detectors.threshold import (
+    LearnedThreshold,
+    threshold_from_quantile,
+    threshold_from_roc,
+    threshold_max_f1,
+)
+
+__all__ = [
+    "IsolationForest",
+    "LearnedThreshold",
+    "threshold_from_quantile",
+    "threshold_from_roc",
+    "threshold_max_f1",
+    "KNNDetector",
+    "LocalOutlierFactor",
+    "MahalanobisDetector",
+    "OneClassSVM",
+    "OutlierDetector",
+    "average_path_length",
+    "linear_kernel",
+    "make_kernel",
+    "polynomial_kernel",
+    "rbf_kernel",
+    "resolve_gamma",
+    "sigmoid_kernel",
+    "smo_solve",
+]

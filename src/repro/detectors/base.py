@@ -1,0 +1,104 @@
+"""Common interface for the multivariate outlier detectors.
+
+All detectors follow the same contract:
+
+* :meth:`fit(X)` learns the model from a (possibly contaminated)
+  training matrix — unsupervised, as in the paper (Sec. 4.2);
+* :meth:`score_samples(X)` returns an **outlyingness score per row,
+  higher = more anomalous** (the orientation used for AUC in the
+  experiments; note this is the opposite of scikit-learn's convention);
+* :meth:`predict(X)` thresholds the scores into ``+1`` (inlier) /
+  ``-1`` (outlier) using each algorithm's natural threshold or the
+  ``contamination``-quantile of the training scores.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.validation import check_matrix
+
+__all__ = ["OutlierDetector"]
+
+
+class OutlierDetector(abc.ABC):
+    """Abstract unsupervised outlier detector on vector data."""
+
+    def __init__(self, contamination: float | None = None):
+        if contamination is not None:
+            if not 0.0 < contamination < 0.5:
+                raise ValidationError(
+                    f"contamination must be in (0, 0.5), got {contamination!r}"
+                )
+        self.contamination = contamination
+        self._fitted = False
+        self.threshold_: float | None = None
+        self.n_features_: int | None = None
+
+    # ------------------------------------------------------------------ hooks
+    @abc.abstractmethod
+    def _fit(self, X: np.ndarray) -> None:
+        """Learn model state from the validated training matrix."""
+
+    @abc.abstractmethod
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        """Outlyingness scores (higher = more anomalous) for validated rows."""
+
+    def _natural_threshold(self) -> float:
+        """Algorithm-specific default decision threshold on the score scale."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ API
+    def fit(self, X) -> "OutlierDetector":
+        """Fit the detector on training rows (contaminated training allowed)."""
+        X = check_matrix(X, "X")
+        self._fit(X)
+        self.n_features_ = X.shape[1]
+        self._fitted = True
+        if self.contamination is not None:
+            train_scores = self._score(X)
+            self.threshold_ = float(
+                np.quantile(train_scores, 1.0 - self.contamination)
+            )
+        else:
+            try:
+                self.threshold_ = float(self._natural_threshold())
+            except NotImplementedError:
+                self.threshold_ = None
+        return self
+
+    def _check_fitted_input(self, X) -> np.ndarray:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} must be fitted before scoring")
+        X = check_matrix(X, "X")
+        if X.shape[1] != self.n_features_:
+            raise ValidationError(
+                f"X has {X.shape[1]} features but the detector was fitted with "
+                f"{self.n_features_}"
+            )
+        return X
+
+    def score_samples(self, X) -> np.ndarray:
+        """Outlyingness score per row — **higher means more anomalous**."""
+        return self._score(self._check_fitted_input(X))
+
+    def decision_function(self, X) -> np.ndarray:
+        """Signed inlier-ness: ``threshold - score`` (positive = inlier)."""
+        scores = self.score_samples(X)
+        if self.threshold_ is None:
+            raise NotFittedError(
+                f"{type(self).__name__} has no decision threshold; "
+                "set contamination to enable predict/decision_function"
+            )
+        return self.threshold_ - scores
+
+    def predict(self, X) -> np.ndarray:
+        """Label rows ``+1`` (inlier) or ``-1`` (outlier)."""
+        return np.where(self.decision_function(X) >= 0.0, 1, -1)
+
+    def fit_predict(self, X) -> np.ndarray:
+        """Fit on ``X`` and label the same rows."""
+        return self.fit(X).predict(X)

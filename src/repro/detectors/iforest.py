@@ -1,0 +1,184 @@
+"""Isolation Forest (Liu, Ting & Zhou, ICDM 2008) — from scratch.
+
+Anomalies are "few and different", hence easier to *isolate* by random
+axis-aligned splits: the expected path length from the root of a random
+partitioning tree to an anomaly is shorter than to an inlier.  The
+anomaly score of a point with average path length ``E[h(x)]`` over the
+forest is::
+
+    s(x) = 2 ** ( -E[h(x)] / c(psi) )
+
+where ``psi`` is the subsample size used to grow each tree and ``c(n)``
+is the average path length of an unsuccessful BST search — the
+normalizer from the original paper::
+
+    c(n) = 2 H(n-1) - 2 (n-1) / n,   H(i) ~ ln(i) + Euler gamma
+
+Scores live in (0, 1); 0.5 is the classical "no anomaly" reference.
+Trees are stored in flat arrays and scoring is vectorized per tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import OutlierDetector
+from repro.exceptions import ValidationError
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_int
+
+__all__ = ["IsolationForest", "average_path_length"]
+
+_EULER_GAMMA = 0.5772156649015329
+
+
+def average_path_length(n_samples) -> np.ndarray:
+    """The ``c(n)`` normalizer of Liu et al. (vectorized over ``n``)."""
+    n = np.atleast_1d(np.asarray(n_samples, dtype=np.float64))
+    out = np.zeros_like(n)
+    big = n > 2
+    out[big] = 2.0 * (np.log(n[big] - 1.0) + _EULER_GAMMA) - 2.0 * (n[big] - 1.0) / n[big]
+    out[n == 2] = 1.0
+    # n <= 1 -> 0 (cannot split further)
+    if np.isscalar(n_samples):
+        return out[0]
+    return out
+
+
+class _IsolationTree:
+    """One isolation tree stored in flat arrays for vectorized traversal."""
+
+    __slots__ = ("feature", "split", "left", "right", "size", "depth", "_n_nodes")
+
+    def __init__(self, X: np.ndarray, height_limit: int, rng: np.random.Generator):
+        # Pre-allocate generously: a tree on psi points has < 2*psi nodes.
+        capacity = max(2 * X.shape[0], 8)
+        self.feature = np.full(capacity, -1, dtype=np.int64)
+        self.split = np.zeros(capacity, dtype=np.float64)
+        self.left = np.full(capacity, -1, dtype=np.int64)
+        self.right = np.full(capacity, -1, dtype=np.int64)
+        self.size = np.zeros(capacity, dtype=np.int64)
+        self.depth = np.zeros(capacity, dtype=np.int64)
+        self._n_nodes = 0
+        self._build(X, np.arange(X.shape[0]), 0, height_limit, rng)
+        # Trim to the used prefix.
+        used = slice(0, self._n_nodes)
+        self.feature = self.feature[used]
+        self.split = self.split[used]
+        self.left = self.left[used]
+        self.right = self.right[used]
+        self.size = self.size[used]
+        self.depth = self.depth[used]
+
+    def _new_node(self, depth: int, size: int) -> int:
+        idx = self._n_nodes
+        if idx >= self.feature.shape[0]:
+            for name in ("feature", "left", "right"):
+                setattr(self, name, np.concatenate((getattr(self, name), np.full(idx, -1, dtype=np.int64))))
+            self.split = np.concatenate((self.split, np.zeros(idx)))
+            self.size = np.concatenate((self.size, np.zeros(idx, dtype=np.int64)))
+            self.depth = np.concatenate((self.depth, np.zeros(idx, dtype=np.int64)))
+        self._n_nodes += 1
+        self.depth[idx] = depth
+        self.size[idx] = size
+        return idx
+
+    def _build(self, X, rows, depth, height_limit, rng) -> int:
+        node = self._new_node(depth, rows.shape[0])
+        if depth >= height_limit or rows.shape[0] <= 1:
+            return node
+        sub = X[rows]
+        lo = sub.min(axis=0)
+        hi = sub.max(axis=0)
+        candidates = np.nonzero(hi > lo)[0]
+        if candidates.size == 0:
+            # All points identical: external node.
+            return node
+        feat = int(rng.choice(candidates))
+        threshold = rng.uniform(lo[feat], hi[feat])
+        mask = sub[:, feat] < threshold
+        left_rows = rows[mask]
+        right_rows = rows[~mask]
+        if left_rows.size == 0 or right_rows.size == 0:
+            # Degenerate draw (threshold at the boundary): stop here.
+            return node
+        self.feature[node] = feat
+        self.split[node] = threshold
+        self.left[node] = self._build(X, left_rows, depth + 1, height_limit, rng)
+        self.right[node] = self._build(X, right_rows, depth + 1, height_limit, rng)
+        return node
+
+    def path_length(self, X: np.ndarray) -> np.ndarray:
+        """Adjusted path length ``h(x)`` for each row of ``X``."""
+        n = X.shape[0]
+        current = np.zeros(n, dtype=np.int64)
+        active = np.arange(n)
+        while active.size:
+            nodes = current[active]
+            internal = self.feature[nodes] >= 0
+            if not internal.any():
+                break
+            act = active[internal]
+            nodes = current[act]
+            go_left = X[act, self.feature[nodes]] < self.split[nodes]
+            current[act[go_left]] = self.left[nodes[go_left]]
+            current[act[~go_left]] = self.right[nodes[~go_left]]
+            active = act
+        leaves = current
+        return self.depth[leaves] + average_path_length(self.size[leaves])
+
+
+class IsolationForest(OutlierDetector):
+    """Isolation Forest outlier detector.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of isolation trees (paper default 100).
+    max_samples:
+        Subsample size ``psi`` per tree (paper default 256); capped at
+        the training-set size.
+    contamination:
+        Optional expected outlier fraction used only to set the
+        prediction threshold; scores do not depend on it.
+    random_state:
+        Seed / generator controlling subsampling and splits.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_samples: int = 256,
+        contamination: float | None = None,
+        random_state=None,
+    ):
+        super().__init__(contamination=contamination)
+        self.n_estimators = check_int(n_estimators, "n_estimators", minimum=1)
+        self.max_samples = check_int(max_samples, "max_samples", minimum=2)
+        self.random_state = random_state
+        self._trees: list[_IsolationTree] = []
+        self._psi: int | None = None
+
+    def _fit(self, X: np.ndarray) -> None:
+        rng = check_random_state(self.random_state)
+        n = X.shape[0]
+        psi = min(self.max_samples, n)
+        if psi < 2:
+            raise ValidationError("IsolationForest needs at least 2 training rows")
+        height_limit = int(np.ceil(np.log2(psi)))
+        self._psi = psi
+        self._trees = []
+        for _ in range(self.n_estimators):
+            rows = rng.choice(n, size=psi, replace=False)
+            self._trees.append(_IsolationTree(X[rows], height_limit, rng))
+
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        depths = np.zeros(X.shape[0])
+        for tree in self._trees:
+            depths += tree.path_length(X)
+        mean_depth = depths / len(self._trees)
+        return 2.0 ** (-mean_depth / average_path_length(self._psi))
+
+    def _natural_threshold(self) -> float:
+        # Scores above 0.5 indicate shorter-than-random isolation paths.
+        return 0.5

@@ -1,0 +1,75 @@
+"""Kernel functions for the One-Class SVM.
+
+Each kernel maps two row-matrices to their Gram matrix.  ``gamma`` may
+be the string ``"scale"`` (scikit-learn-compatible heuristic
+``1 / (d * var(X))``, resolved at fit time) or a positive float.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.linalg import pairwise_sq_dists
+from repro.utils.validation import check_positive
+
+__all__ = ["rbf_kernel", "linear_kernel", "polynomial_kernel", "sigmoid_kernel", "make_kernel", "resolve_gamma"]
+
+
+def rbf_kernel(a: np.ndarray, b: np.ndarray, gamma: float) -> np.ndarray:
+    """Gaussian kernel ``exp(-gamma |x - y|^2)``."""
+    gamma = check_positive(gamma, "gamma")
+    return np.exp(-gamma * pairwise_sq_dists(a, b))
+
+
+def linear_kernel(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Plain inner product ``<x, y>``."""
+    return np.asarray(a) @ np.asarray(b).T
+
+
+def polynomial_kernel(
+    a: np.ndarray, b: np.ndarray, gamma: float, degree: int = 3, coef0: float = 1.0
+) -> np.ndarray:
+    """Polynomial kernel ``(gamma <x, y> + coef0)^degree``."""
+    gamma = check_positive(gamma, "gamma")
+    return (gamma * (np.asarray(a) @ np.asarray(b).T) + coef0) ** degree
+
+
+def sigmoid_kernel(a: np.ndarray, b: np.ndarray, gamma: float, coef0: float = 0.0) -> np.ndarray:
+    """Sigmoid kernel ``tanh(gamma <x, y> + coef0)`` (not PSD in general)."""
+    gamma = check_positive(gamma, "gamma")
+    return np.tanh(gamma * (np.asarray(a) @ np.asarray(b).T) + coef0)
+
+
+def resolve_gamma(gamma, X: np.ndarray) -> float:
+    """Resolve a gamma specification against training data.
+
+    ``"scale"`` → ``1 / (n_features * var(X))`` (variance over all
+    entries), ``"auto"`` → ``1 / n_features``, a positive float is
+    passed through.
+    """
+    if gamma == "scale":
+        var = float(np.var(X))
+        if var <= 0:
+            var = 1.0
+        return 1.0 / (X.shape[1] * var)
+    if gamma == "auto":
+        return 1.0 / X.shape[1]
+    return check_positive(gamma, "gamma")
+
+
+def make_kernel(name: str, gamma: float, degree: int = 3, coef0: float = 0.0) -> Callable:
+    """Build a two-argument kernel callable from a kernel name."""
+    if name == "rbf":
+        return lambda a, b: rbf_kernel(a, b, gamma)
+    if name == "linear":
+        return linear_kernel
+    if name == "poly":
+        return lambda a, b: polynomial_kernel(a, b, gamma, degree=degree, coef0=coef0 or 1.0)
+    if name == "sigmoid":
+        return lambda a, b: sigmoid_kernel(a, b, gamma, coef0=coef0)
+    raise ValidationError(
+        f"unknown kernel {name!r}; choose from 'rbf', 'linear', 'poly', 'sigmoid'"
+    )

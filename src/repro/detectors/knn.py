@@ -1,0 +1,71 @@
+"""k-nearest-neighbour distance detector (Ramaswamy et al. 2000 style).
+
+A simple, strong baseline beyond the paper's two detectors: the
+outlyingness of a point is its distance to its k-th nearest training
+neighbour (or the average of the k nearest distances).  Included as an
+extension detector for the ablation benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import OutlierDetector
+from repro.exceptions import ValidationError
+from repro.utils.linalg import pairwise_sq_dists
+from repro.utils.validation import check_int
+
+__all__ = ["KNNDetector"]
+
+
+class KNNDetector(OutlierDetector):
+    """Distance-to-k-th-neighbour outlier detector.
+
+    Parameters
+    ----------
+    n_neighbors:
+        The ``k`` in k-NN.
+    aggregation:
+        ``"kth"`` (distance to the k-th neighbour, default) or
+        ``"mean"`` (average distance to the k nearest).
+    """
+
+    def __init__(
+        self,
+        n_neighbors: int = 5,
+        aggregation: str = "kth",
+        contamination: float | None = None,
+    ):
+        super().__init__(contamination=contamination)
+        self.n_neighbors = check_int(n_neighbors, "n_neighbors", minimum=1)
+        if aggregation not in ("kth", "mean"):
+            raise ValidationError(
+                f"aggregation must be 'kth' or 'mean', got {aggregation!r}"
+            )
+        self.aggregation = aggregation
+        self._train: np.ndarray | None = None
+
+    def _fit(self, X: np.ndarray) -> None:
+        if X.shape[0] <= self.n_neighbors:
+            raise ValidationError(
+                f"need more than n_neighbors={self.n_neighbors} training rows, "
+                f"got {X.shape[0]}"
+            )
+        self._train = X.copy()
+
+    def _neighbor_distances(self, X: np.ndarray, exclude_self: bool) -> np.ndarray:
+        dists = np.sqrt(pairwise_sq_dists(X, self._train))
+        k = self.n_neighbors
+        if exclude_self:
+            # When scoring training rows, ignore the zero self-distance.
+            dists = np.sort(dists, axis=1)[:, 1 : k + 1]
+        else:
+            dists = np.sort(dists, axis=1)[:, :k]
+        return dists
+
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        exclude_self = X.shape == self._train.shape and np.array_equal(X, self._train)
+        dists = self._neighbor_distances(X, exclude_self)
+        if self.aggregation == "kth":
+            return dists[:, -1]
+        return dists.mean(axis=1)

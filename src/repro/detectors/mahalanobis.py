@@ -1,0 +1,87 @@
+"""Robust Mahalanobis-distance detector.
+
+Classical parametric baseline: score = Mahalanobis distance to a
+(robustly estimated) location/scatter.  Robustness against training
+contamination comes from a reweighted estimator: an initial
+shrinkage-covariance fit, followed by trimming the fraction of points
+with the largest distances and refitting — a lightweight stand-in for
+MCD that keeps the library dependency-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import OutlierDetector
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_in_range, check_int
+
+__all__ = ["MahalanobisDetector"]
+
+
+def _shrunk_covariance(X: np.ndarray, shrinkage: float) -> np.ndarray:
+    cov = np.cov(X, rowvar=False)
+    cov = np.atleast_2d(cov)
+    target = np.eye(cov.shape[0]) * np.trace(cov) / cov.shape[0]
+    return (1.0 - shrinkage) * cov + shrinkage * target
+
+
+class MahalanobisDetector(OutlierDetector):
+    """Mahalanobis distance with trimmed re-estimation.
+
+    Parameters
+    ----------
+    trim:
+        Fraction of the most distant training points excluded during
+        re-estimation rounds (robustness to contamination).
+    n_refits:
+        Number of trim-and-refit rounds (0 = classical estimator).
+    shrinkage:
+        Ledoit–Wolf-style convex shrinkage toward a scaled identity,
+        keeping the scatter invertible when n < d.
+    """
+
+    def __init__(
+        self,
+        trim: float = 0.1,
+        n_refits: int = 2,
+        shrinkage: float = 0.1,
+        contamination: float | None = None,
+    ):
+        super().__init__(contamination=contamination)
+        self.trim = check_in_range(trim, 0.0, 0.5, "trim", inclusive=(True, False))
+        self.n_refits = check_int(n_refits, "n_refits", minimum=0)
+        self.shrinkage = check_in_range(shrinkage, 0.0, 1.0, "shrinkage")
+        self.location_: np.ndarray | None = None
+        self.precision_: np.ndarray | None = None
+
+    def _estimate(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        location = X.mean(axis=0)
+        cov = _shrunk_covariance(X, self.shrinkage)
+        try:
+            precision = np.linalg.inv(cov)
+        except np.linalg.LinAlgError:
+            precision = np.linalg.pinv(cov)
+        return location, precision
+
+    def _distances(self, X: np.ndarray, location: np.ndarray, precision: np.ndarray) -> np.ndarray:
+        centered = X - location
+        return np.sqrt(np.maximum(np.sum((centered @ precision) * centered, axis=1), 0.0))
+
+    def _fit(self, X: np.ndarray) -> None:
+        if X.shape[0] < 3:
+            raise ValidationError("MahalanobisDetector needs at least 3 training rows")
+        location, precision = self._estimate(X)
+        for _ in range(self.n_refits):
+            if self.trim <= 0:
+                break
+            dists = self._distances(X, location, precision)
+            keep = dists <= np.quantile(dists, 1.0 - self.trim)
+            if keep.sum() < 3:
+                break
+            location, precision = self._estimate(X[keep])
+        self.location_ = location
+        self.precision_ = precision
+
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        return self._distances(X, self.location_, self.precision_)

@@ -1,0 +1,31 @@
+"""Evaluation: metrics, contaminated splits, tuning, experiment harness."""
+
+from repro.evaluation.experiment import PAPER_CONTAMINATION_LEVELS, run_contamination_experiment
+from repro.evaluation.metrics import (
+    average_precision,
+    f1_at_threshold,
+    precision_at_k,
+    roc_auc,
+    roc_curve,
+)
+from repro.evaluation.results import ResultRecord, ResultTable
+from repro.evaluation.splits import Split, contaminated_split, kfold_indices
+from repro.evaluation.tuning import TuningResult, grid_search, tune_nu
+
+__all__ = [
+    "PAPER_CONTAMINATION_LEVELS",
+    "ResultRecord",
+    "ResultTable",
+    "Split",
+    "TuningResult",
+    "average_precision",
+    "contaminated_split",
+    "f1_at_threshold",
+    "grid_search",
+    "kfold_indices",
+    "precision_at_k",
+    "roc_auc",
+    "roc_curve",
+    "run_contamination_experiment",
+    "tune_nu",
+]

@@ -1,0 +1,118 @@
+"""Result collection and aggregation for repetition experiments.
+
+A :class:`ResultTable` accumulates per-repetition records
+``(method, contamination, repetition, metric value)`` and aggregates
+them to the mean ± standard deviation series reported in the paper's
+Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["ResultRecord", "ResultTable"]
+
+
+@dataclass(frozen=True)
+class ResultRecord:
+    """One repetition's outcome."""
+
+    method: str
+    contamination: float
+    repetition: int
+    auc: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.auc <= 1.0:
+            raise ValidationError(f"auc must be in [0, 1], got {self.auc}")
+
+
+@dataclass
+class ResultTable:
+    """Accumulator with mean/std aggregation and text rendering."""
+
+    records: list = field(default_factory=list)
+
+    def add(self, method: str, contamination: float, repetition: int, auc: float) -> None:
+        self.records.append(
+            ResultRecord(
+                method=str(method),
+                contamination=float(contamination),
+                repetition=int(repetition),
+                auc=float(auc),
+            )
+        )
+
+    # ------------------------------------------------------------------ access
+    @property
+    def methods(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.method, None)
+        return list(seen)
+
+    @property
+    def contamination_levels(self) -> list[float]:
+        return sorted({record.contamination for record in self.records})
+
+    def values(self, method: str, contamination: float) -> np.ndarray:
+        picked = [
+            r.auc
+            for r in self.records
+            if r.method == method and r.contamination == contamination
+        ]
+        return np.asarray(picked, dtype=np.float64)
+
+    def mean(self, method: str, contamination: float) -> float:
+        values = self.values(method, contamination)
+        if values.size == 0:
+            raise ValidationError(f"no records for ({method!r}, c={contamination})")
+        return float(values.mean())
+
+    def std(self, method: str, contamination: float) -> float:
+        values = self.values(method, contamination)
+        if values.size == 0:
+            raise ValidationError(f"no records for ({method!r}, c={contamination})")
+        return float(values.std(ddof=1)) if values.size > 1 else 0.0
+
+    def series(self, method: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(contamination levels, mean AUC, std AUC) for one method."""
+        levels = self.contamination_levels
+        means = np.array([self.mean(method, c) for c in levels])
+        stds = np.array([self.std(method, c) for c in levels])
+        return np.asarray(levels), means, stds
+
+    # ------------------------------------------------------------------ output
+    def to_text(self, title: str = "AUC vs. contamination level") -> str:
+        """Figure-3-style table: one row per method, one column per c."""
+        levels = self.contamination_levels
+        methods = self.methods
+        header = ["method".ljust(18)] + [f"c={c:.2f}".center(15) for c in levels]
+        lines = [title, "-" * (18 + 15 * len(levels)), " ".join(header)]
+        for method in methods:
+            cells = [method.ljust(18)]
+            for c in levels:
+                if self.values(method, c).size:
+                    cells.append(
+                        f"{self.mean(method, c):.3f} ± {self.std(method, c):.3f}".center(15)
+                    )
+                else:
+                    cells.append("—".center(15))
+            lines.append(" ".join(cells))
+        return "\n".join(lines)
+
+    def to_records(self) -> list[dict]:
+        """Plain-dict export (for JSON dumping in benches)."""
+        return [
+            {
+                "method": r.method,
+                "contamination": r.contamination,
+                "repetition": r.repetition,
+                "auc": r.auc,
+            }
+            for r in self.records
+        ]

@@ -1,0 +1,114 @@
+"""Contaminated train/test splitting — the paper's experimental protocol.
+
+Sec. 4.1: "We randomly split the data into a training and a test set.
+We generate the training set by setting the ratio of outliers (referred
+as the contamination level c) to 5, 10, 15, 20 and 25%.  For each value
+of c, we repeat the random splitting 50 times."
+
+:func:`contaminated_split` draws a training set whose outlier fraction
+is exactly ``c`` (up to rounding); everything not drawn for training
+forms the test set, on which AUC is computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_in_range, check_int
+
+__all__ = ["Split", "contaminated_split", "kfold_indices"]
+
+
+@dataclass(frozen=True)
+class Split:
+    """Index sets of one contaminated train/test split."""
+
+    train: np.ndarray
+    test: np.ndarray
+
+    def __post_init__(self):
+        overlap = np.intersect1d(self.train, self.test)
+        if overlap.size:
+            raise ValidationError("train and test indices overlap")
+
+
+def contaminated_split(
+    labels,
+    contamination: float,
+    train_fraction: float = 0.5,
+    random_state=None,
+) -> Split:
+    """Random split with a prescribed training-set outlier ratio.
+
+    Parameters
+    ----------
+    labels:
+        Binary array, 1 = outlier.
+    contamination:
+        Target outlier ratio ``c`` of the training set (0 < c < 0.5).
+    train_fraction:
+        Overall fraction of *inliers* assigned to training; the number
+        of training outliers is then derived from ``c``.
+    random_state:
+        Seed or generator.
+
+    Returns
+    -------
+    Split
+        Training indices (shuffled) and test indices.  The test set
+        keeps every sample not used for training, so it contains both
+        classes as AUC requires.
+    """
+    labels = np.asarray(labels).astype(int)
+    if labels.ndim != 1:
+        raise ValidationError("labels must be one-dimensional")
+    contamination = check_in_range(
+        contamination, 0.0, 0.5, "contamination", inclusive=(False, False)
+    )
+    train_fraction = check_in_range(
+        train_fraction, 0.0, 1.0, "train_fraction", inclusive=(False, False)
+    )
+    rng = check_random_state(random_state)
+    inlier_idx = np.nonzero(labels == 0)[0]
+    outlier_idx = np.nonzero(labels == 1)[0]
+    if inlier_idx.size < 2 or outlier_idx.size < 2:
+        raise ValidationError("need at least 2 samples of each class")
+    n_train_inliers = max(int(round(train_fraction * inlier_idx.size)), 1)
+    n_train_outliers = int(round(n_train_inliers * contamination / (1.0 - contamination)))
+    n_train_outliers = min(n_train_outliers, outlier_idx.size - 1)
+    if n_train_outliers < 1:
+        raise ValidationError(
+            "contamination too low for the available outliers; "
+            f"c={contamination} would give an outlier-free training set"
+        )
+    if n_train_inliers >= inlier_idx.size:
+        n_train_inliers = inlier_idx.size - 1
+    train_in = rng.choice(inlier_idx, size=n_train_inliers, replace=False)
+    train_out = rng.choice(outlier_idx, size=n_train_outliers, replace=False)
+    train = np.concatenate([train_in, train_out])
+    rng.shuffle(train)
+    test_mask = np.ones(labels.shape[0], dtype=bool)
+    test_mask[train] = False
+    test = np.nonzero(test_mask)[0]
+    return Split(train=train, test=test)
+
+
+def kfold_indices(n_samples: int, n_folds: int = 5, random_state=None) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Shuffled k-fold index pairs ``(train, validation)``."""
+    n_samples = check_int(n_samples, "n_samples", minimum=2)
+    n_folds = check_int(n_folds, "n_folds", minimum=2)
+    if n_folds > n_samples:
+        raise ValidationError(f"n_folds={n_folds} exceeds n_samples={n_samples}")
+    rng = check_random_state(random_state)
+    permutation = rng.permutation(n_samples)
+    folds = np.array_split(permutation, n_folds)
+    pairs = []
+    for i in range(n_folds):
+        validation = folds[i]
+        train = np.concatenate([folds[j] for j in range(n_folds) if j != i])
+        pairs.append((train, validation))
+    return pairs

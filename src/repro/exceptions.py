@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised deliberately by the library derive from
+:class:`ReproError` so callers can catch library-specific failures with a
+single ``except`` clause while letting programming errors (``TypeError``
+from NumPy, etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input array, grid or parameter failed validation.
+
+    Inherits from :class:`ValueError` so generic callers that expect
+    ``ValueError`` from bad inputs keep working.
+    """
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """An estimator method requiring a fitted model was called before ``fit``."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to reach its stopping criterion."""
+
+
+class GridError(ValidationError):
+    """An evaluation grid is malformed (unsorted, duplicated, too short)."""
+
+
+class BasisError(ValidationError):
+    """A basis system is malformed or incompatible with the requested operation."""

@@ -1,0 +1,8 @@
+"""Basis systems for functional approximation (paper Eq. 1)."""
+
+from repro.fda.basis.base import Basis
+from repro.fda.basis.bspline import BSplineBasis
+from repro.fda.basis.fourier import FourierBasis
+from repro.fda.basis.polynomial import LegendreBasis, MonomialBasis
+
+__all__ = ["Basis", "BSplineBasis", "FourierBasis", "LegendreBasis", "MonomialBasis"]

@@ -1,0 +1,58 @@
+"""Fourier basis — the paper's recommended choice for periodic data.
+
+Basis functions on ``[a, b]`` with period ``b - a``::
+
+    phi_1(t) = 1 / sqrt(b - a)
+    phi_2(t) = sqrt(2/(b-a)) * sin(omega t),  phi_3 = ... cos(omega t)
+    phi_4(t) = sqrt(2/(b-a)) * sin(2 omega t), ...
+
+with ``omega = 2 pi / (b - a)``.  The normalization makes the basis
+orthonormal in L2([a, b]), so the roughness penalty matrix is diagonal —
+a property exercised by the unit tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fda.basis.base import Basis
+
+__all__ = ["FourierBasis"]
+
+
+class FourierBasis(Basis):
+    """Orthonormal Fourier basis (constant + sine/cosine pairs).
+
+    ``n_basis`` may be any positive integer; with an even value the last
+    pair is truncated after its sine term.
+    """
+
+    def __init__(self, domain: tuple[float, float], n_basis: int):
+        super().__init__(domain, n_basis)
+        low, high = self.domain
+        self.period = high - low
+        self.omega = 2.0 * np.pi / self.period
+
+    def _evaluate(self, points: np.ndarray, derivative: int) -> np.ndarray:
+        low, _ = self.domain
+        length = self.period
+        design = np.zeros((points.shape[0], self.n_basis))
+        shifted = points - low
+        const_norm = 1.0 / np.sqrt(length)
+        pair_norm = np.sqrt(2.0 / length)
+        # Constant term: derivative 0 keeps it, any derivative kills it.
+        if derivative == 0:
+            design[:, 0] = const_norm
+        for idx in range(1, self.n_basis):
+            harmonic = (idx + 1) // 2
+            freq = harmonic * self.omega
+            phase = freq * shifted
+            is_sine = idx % 2 == 1
+            # q-th derivative of sin is freq^q * sin(phase + q*pi/2); same for cos.
+            shift = derivative * np.pi / 2.0
+            amp = pair_norm * freq**derivative
+            if is_sine:
+                design[:, idx] = amp * np.sin(phase + shift)
+            else:
+                design[:, idx] = amp * np.cos(phase + shift)
+        return design

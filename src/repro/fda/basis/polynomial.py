@@ -1,0 +1,56 @@
+"""Polynomial (monomial and Legendre) bases.
+
+Included for completeness and for unit tests: low-order geometry
+(lines, parabolas) has closed-form curvature, and representing such
+curves exactly in a polynomial basis lets tests verify the whole
+smoothing → derivative → curvature chain against analytic results.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.fda.basis.base import Basis
+
+__all__ = ["MonomialBasis", "LegendreBasis"]
+
+
+class MonomialBasis(Basis):
+    """Monomials ``1, s, s^2, ...`` in the centred variable ``s = t - mid``.
+
+    Centering at the interval midpoint keeps the design matrix
+    well-conditioned for moderate degrees.
+    """
+
+    def __init__(self, domain: tuple[float, float], n_basis: int):
+        super().__init__(domain, n_basis)
+        self.center = 0.5 * (self.domain[0] + self.domain[1])
+
+    def _evaluate(self, points: np.ndarray, derivative: int) -> np.ndarray:
+        design = np.zeros((points.shape[0], self.n_basis))
+        shifted = points - self.center
+        for power in range(self.n_basis):
+            if power < derivative:
+                continue
+            coeff = math.perm(power, derivative)
+            design[:, power] = coeff * shifted ** (power - derivative)
+        return design
+
+
+class LegendreBasis(Basis):
+    """Legendre polynomials rescaled to the domain (orthogonal in L2)."""
+
+    def _evaluate(self, points: np.ndarray, derivative: int) -> np.ndarray:
+        low, high = self.domain
+        # Map the domain to [-1, 1]; chain rule brings a factor per derivative.
+        scale = 2.0 / (high - low)
+        mapped = scale * (points - low) - 1.0
+        design = np.zeros((points.shape[0], self.n_basis))
+        for degree in range(self.n_basis):
+            coeffs = np.zeros(degree + 1)
+            coeffs[degree] = 1.0
+            poly = np.polynomial.legendre.Legendre(coeffs)
+            design[:, degree] = poly.deriv(derivative)(mapped) if derivative else poly(mapped)
+        return design * scale**derivative

@@ -1,0 +1,49 @@
+"""Differential geometry of MFD paths and mapping functions (paper Sec. 3)."""
+
+from repro.geometry.base import MappingFunction
+from repro.geometry.differential import (
+    arc_length,
+    cumulative_arc_length,
+    curvature,
+    speed,
+    tangent_angle,
+    torsion,
+    turning_rate,
+)
+from repro.geometry.frenet import frenet_frame, generalized_curvature, gram_schmidt_frame
+from repro.geometry.mappings import (
+    ArcLengthMapping,
+    ComponentMapping,
+    CompositeMapping,
+    CurvatureMapping,
+    GeneralizedCurvatureMapping,
+    NormMapping,
+    SignedCurvatureMapping,
+    SpeedMapping,
+    TangentAngleMapping,
+    TorsionMapping,
+)
+
+__all__ = [
+    "ArcLengthMapping",
+    "ComponentMapping",
+    "CompositeMapping",
+    "CurvatureMapping",
+    "GeneralizedCurvatureMapping",
+    "MappingFunction",
+    "NormMapping",
+    "SignedCurvatureMapping",
+    "SpeedMapping",
+    "TangentAngleMapping",
+    "TorsionMapping",
+    "arc_length",
+    "cumulative_arc_length",
+    "curvature",
+    "frenet_frame",
+    "generalized_curvature",
+    "gram_schmidt_frame",
+    "speed",
+    "tangent_angle",
+    "torsion",
+    "turning_rate",
+]

@@ -1,0 +1,114 @@
+"""Frenet–Serret frames and generalized curvatures in R^p.
+
+For a path in R^p with derivatives ``D^1 X .. D^j X`` linearly
+independent, the Frenet frame ``e_1 .. e_j`` is the Gram–Schmidt
+orthonormalization of the derivatives, and the generalized curvatures
+
+    chi_j(t) = <e_j'(t), e_{j+1}(t)> / |D^1 X(t)|
+
+recover the classical curvature (j = 1) and torsion (j = 2, p = 3).
+This module provides the frame itself plus a numerically robust
+generalized-curvature evaluator used by the higher-order mapping
+functions (an extension beyond the paper's curvature example).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.geometry.differential import SPEED_FLOOR
+from repro.utils.validation import as_float_array, check_grid, check_int
+
+__all__ = ["gram_schmidt_frame", "frenet_frame", "generalized_curvature"]
+
+
+def gram_schmidt_frame(vectors: np.ndarray) -> np.ndarray:
+    """Orthonormalize, per point, a family of vectors in R^p.
+
+    Parameters
+    ----------
+    vectors:
+        Array of shape ``(n_points, n_vectors, p)`` — for each point, the
+        rows are the vectors to orthonormalize in order.
+
+    Returns
+    -------
+    numpy.ndarray of the same shape
+        The orthonormal frame.  Where a vector is (numerically) linearly
+        dependent on its predecessors, the corresponding frame vector is
+        zero — callers treat such points as degenerate.
+    """
+    vectors = as_float_array(vectors, "vectors")
+    if vectors.ndim != 3:
+        raise ValidationError(
+            f"vectors must have shape (n_points, n_vectors, p), got {vectors.shape}"
+        )
+    n_points, n_vectors, p = vectors.shape
+    if n_vectors > p:
+        raise ValidationError(
+            f"cannot orthonormalize {n_vectors} vectors in R^{p}"
+        )
+    frame = np.zeros_like(vectors)
+    for j in range(n_vectors):
+        residual = vectors[:, j, :].copy()
+        for prev in range(j):
+            proj = np.sum(residual * frame[:, prev, :], axis=1, keepdims=True)
+            residual -= proj * frame[:, prev, :]
+        norms = np.linalg.norm(residual, axis=1, keepdims=True)
+        ok = norms[:, 0] > np.sqrt(SPEED_FLOOR)
+        frame[ok, j, :] = residual[ok] / norms[ok]
+    return frame
+
+
+def frenet_frame(derivatives: list[np.ndarray]) -> np.ndarray:
+    """Frenet frame of a *single* path from its first ``j`` derivatives.
+
+    Parameters
+    ----------
+    derivatives:
+        List of arrays ``[D^1 X, D^2 X, ..., D^j X]``, each of shape
+        ``(n_points, p)``.
+
+    Returns
+    -------
+    numpy.ndarray of shape ``(n_points, j, p)``
+    """
+    if not derivatives:
+        raise ValidationError("need at least one derivative array")
+    arrays = [as_float_array(d, f"derivatives[{i}]") for i, d in enumerate(derivatives)]
+    shape = arrays[0].shape
+    for i, arr in enumerate(arrays):
+        if arr.ndim != 2:
+            raise ValidationError(f"derivatives[{i}] must be 2-D (n_points, p)")
+        if arr.shape != shape:
+            raise ValidationError("all derivative arrays must share a shape")
+    stacked = np.stack(arrays, axis=1)  # (n_points, j, p)
+    return gram_schmidt_frame(stacked)
+
+
+def generalized_curvature(derivatives: list[np.ndarray], grid, order: int = 1) -> np.ndarray:
+    """The ``order``-th generalized curvature ``chi_order`` of one path.
+
+    ``chi_1`` is the classical curvature; ``chi_2`` the torsion (p=3).
+    Needs ``order + 1`` derivative arrays.  The frame derivative
+    ``e_order'`` is computed by centred finite differences on the grid —
+    acceptable because the frame of a smoothed path is itself smooth.
+
+    Returns an array of shape ``(n_points,)``.
+    """
+    order = check_int(order, "order", minimum=1)
+    grid = check_grid(grid, "grid", min_length=3)
+    if len(derivatives) < order + 1:
+        raise ValidationError(
+            f"chi_{order} needs {order + 1} derivative arrays, got {len(derivatives)}"
+        )
+    frame = frenet_frame(derivatives[: order + 1])  # (m, order+1, p)
+    if frame.shape[0] != grid.shape[0]:
+        raise ValidationError("derivative arrays and grid disagree on n_points")
+    e_j = frame[:, order - 1, :]
+    e_next = frame[:, order, :]
+    de_j = np.gradient(e_j, grid, axis=0)
+    speed_values = np.linalg.norm(np.asarray(derivatives[0], dtype=np.float64), axis=1)
+    numer = np.sum(de_j * e_next, axis=1)
+    return numer / np.maximum(speed_values, np.sqrt(SPEED_FLOOR))

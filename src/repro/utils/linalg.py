@@ -1,0 +1,69 @@
+"""Small linear-algebra helpers used by the smoothing and detector code."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg as sla
+
+from repro.exceptions import ValidationError
+
+__all__ = ["solve_psd", "symmetrize", "safe_inverse_sqrt", "pairwise_sq_dists"]
+
+
+def symmetrize(matrix: np.ndarray) -> np.ndarray:
+    """Return the symmetric part ``(A + A.T) / 2`` of a square matrix."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValidationError(f"matrix must be square, got shape {matrix.shape}")
+    return 0.5 * (matrix + matrix.T)
+
+
+def solve_psd(matrix: np.ndarray, rhs: np.ndarray, jitter: float = 1e-10) -> np.ndarray:
+    """Solve ``matrix @ x = rhs`` for a (nearly) positive semi-definite matrix.
+
+    Tries a Cholesky factorization first; on failure adds a small ridge
+    of ``jitter * trace/n`` to the diagonal (escalating geometrically) and
+    finally falls back to the pseudo-inverse.  This is the standard
+    robust path for penalized least-squares normal equations whose
+    penalty matrix is singular (e.g. roughness penalties annihilate
+    polynomials of low degree).
+    """
+    matrix = symmetrize(matrix)
+    rhs = np.asarray(rhs, dtype=np.float64)
+    scale = max(np.trace(matrix) / matrix.shape[0], 1.0)
+    bump = jitter * scale
+    for _ in range(8):
+        try:
+            chol = sla.cho_factor(matrix, lower=True, check_finite=False)
+            return sla.cho_solve(chol, rhs, check_finite=False)
+        except sla.LinAlgError:
+            matrix = matrix + bump * np.eye(matrix.shape[0])
+            bump *= 10.0
+    return np.linalg.pinv(matrix) @ rhs
+
+
+def safe_inverse_sqrt(values: np.ndarray, floor: float = 1e-12) -> np.ndarray:
+    """Elementwise ``1/sqrt(values)`` with a floor guarding against division by zero."""
+    values = np.asarray(values, dtype=np.float64)
+    return 1.0 / np.sqrt(np.maximum(values, floor))
+
+
+def pairwise_sq_dists(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
+    """Squared Euclidean distances between rows of ``a`` and rows of ``b``.
+
+    Uses the expanded form ``|x|^2 + |y|^2 - 2 x.y`` and clips tiny
+    negative values arising from floating-point cancellation.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = a if b is None else np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValidationError("pairwise_sq_dists expects 2-D arrays")
+    if a.shape[1] != b.shape[1]:
+        raise ValidationError(
+            f"feature dimensions differ: {a.shape[1]} vs {b.shape[1]}"
+        )
+    a_sq = np.sum(a * a, axis=1)[:, None]
+    b_sq = np.sum(b * b, axis=1)[None, :]
+    dists = a_sq + b_sq - 2.0 * (a @ b.T)
+    np.maximum(dists, 0.0, out=dists)
+    return dists

@@ -1,0 +1,58 @@
+"""Unit tests for the Fourier basis."""
+
+import numpy as np
+import pytest
+
+from repro.fda.basis.fourier import FourierBasis
+from repro.fda.penalty import gram_matrix
+
+
+@pytest.fixture
+def basis():
+    return FourierBasis((0.0, 1.0), n_basis=7)
+
+
+class TestFourierBasis:
+    def test_orthonormal(self, basis):
+        gram = gram_matrix(basis, n_nodes=64)
+        np.testing.assert_allclose(gram, np.eye(7), atol=1e-12)
+
+    def test_constant_term(self, basis):
+        design = basis.evaluate(np.array([0.1, 0.9]))
+        np.testing.assert_allclose(design[:, 0], 1.0)
+
+    def test_periodicity(self, basis):
+        left = basis.evaluate(np.array([0.0]))
+        right = basis.evaluate(np.array([1.0]))
+        np.testing.assert_allclose(left, right, atol=1e-10)
+
+    def test_derivative_of_constant_is_zero(self, basis):
+        design = basis.evaluate(np.linspace(0, 1, 11), derivative=1)
+        np.testing.assert_allclose(design[:, 0], 0.0)
+
+    def test_derivative_analytic(self):
+        basis = FourierBasis((0.0, 1.0), n_basis=3)
+        t = np.linspace(0, 1, 101)
+        d1 = basis.evaluate(t, derivative=1)
+        omega = 2 * np.pi
+        norm = np.sqrt(2.0)
+        # phi_2 = norm*sin(omega t) -> D phi_2 = norm*omega*cos(omega t)
+        np.testing.assert_allclose(d1[:, 1], norm * omega * np.cos(omega * t), atol=1e-10)
+        # phi_3 = norm*cos(omega t) -> D phi_3 = -norm*omega*sin(omega t)
+        np.testing.assert_allclose(d1[:, 2], -norm * omega * np.sin(omega * t), atol=1e-10)
+
+    def test_second_derivative_eigenfunction(self):
+        """Sines/cosines are eigenfunctions of D^2 with eigenvalue -freq^2."""
+        basis = FourierBasis((0.0, 2.0), n_basis=5)
+        t = np.linspace(0, 2, 50)
+        values = basis.evaluate(t)
+        d2 = basis.evaluate(t, derivative=2)
+        for idx in range(1, 5):
+            harmonic = (idx + 1) // 2
+            freq = harmonic * basis.omega
+            np.testing.assert_allclose(d2[:, idx], -(freq**2) * values[:, idx], atol=1e-8)
+
+    def test_even_basis_size(self):
+        basis = FourierBasis((0.0, 1.0), n_basis=4)
+        design = basis.evaluate(np.linspace(0, 1, 9))
+        assert design.shape == (9, 4)

@@ -1,0 +1,65 @@
+"""Unit tests for monomial and Legendre bases."""
+
+import numpy as np
+import pytest
+
+from repro.fda.basis.polynomial import LegendreBasis, MonomialBasis
+from repro.fda.penalty import gram_matrix
+
+
+class TestMonomialBasis:
+    def test_values_centred(self):
+        basis = MonomialBasis((0.0, 2.0), n_basis=3)
+        design = basis.evaluate(np.array([1.0]))  # center -> s = 0
+        np.testing.assert_allclose(design, [[1.0, 0.0, 0.0]])
+
+    def test_first_derivative(self):
+        basis = MonomialBasis((-1.0, 1.0), n_basis=4)
+        t = np.linspace(-1, 1, 21)
+        d1 = basis.evaluate(t, derivative=1)
+        np.testing.assert_allclose(d1[:, 0], 0.0)
+        np.testing.assert_allclose(d1[:, 1], 1.0)
+        np.testing.assert_allclose(d1[:, 2], 2 * t)
+        np.testing.assert_allclose(d1[:, 3], 3 * t**2)
+
+    def test_second_derivative_factorials(self):
+        basis = MonomialBasis((-1.0, 1.0), n_basis=4)
+        d2 = basis.evaluate(np.array([0.0]), derivative=2)
+        # D^2 of 1, s, s^2, s^3 at s=0 -> 0, 0, 2, 0
+        np.testing.assert_allclose(d2, [[0.0, 0.0, 2.0, 0.0]])
+
+    def test_exact_parabola_representation(self):
+        """A parabola is exactly representable: coefficients recover it."""
+        basis = MonomialBasis((0.0, 1.0), n_basis=3)
+        t = np.linspace(0, 1, 9)
+        # f(t) = (t - c)^2 with c the basis center -> coeffs (0, 0, 1)
+        design = basis.evaluate(t)
+        f = (t - basis.center) ** 2
+        coeffs, *_ = np.linalg.lstsq(design, f, rcond=None)
+        np.testing.assert_allclose(coeffs, [0.0, 0.0, 1.0], atol=1e-10)
+
+
+class TestLegendreBasis:
+    def test_orthogonal(self):
+        basis = LegendreBasis((0.0, 1.0), n_basis=5)
+        gram = gram_matrix(basis, n_nodes=32)
+        off_diag = gram - np.diag(np.diag(gram))
+        np.testing.assert_allclose(off_diag, 0.0, atol=1e-12)
+
+    def test_degree_zero_constant(self):
+        basis = LegendreBasis((0.0, 1.0), n_basis=3)
+        design = basis.evaluate(np.linspace(0, 1, 7))
+        np.testing.assert_allclose(design[:, 0], 1.0)
+
+    def test_derivative_chain_rule(self):
+        """P_1 mapped to [0, 2] is t - 1; derivative must be 1 (not 2/(b-a))."""
+        basis = LegendreBasis((0.0, 2.0), n_basis=2)
+        d1 = basis.evaluate(np.array([0.5, 1.5]), derivative=1)
+        np.testing.assert_allclose(d1[:, 1], 1.0)
+
+    def test_values_match_numpy(self):
+        basis = LegendreBasis((-1.0, 1.0), n_basis=4)
+        t = np.linspace(-1, 1, 31)
+        design = basis.evaluate(t)
+        np.testing.assert_allclose(design[:, 2], 0.5 * (3 * t**2 - 1), atol=1e-12)
+        np.testing.assert_allclose(design[:, 3], 0.5 * (5 * t**3 - 3 * t), atol=1e-12)

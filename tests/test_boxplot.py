@@ -1,0 +1,70 @@
+"""Unit tests for the functional boxplot."""
+
+import numpy as np
+import pytest
+
+from repro.depth.boxplot import functional_boxplot
+from repro.exceptions import ValidationError
+from repro.fda.fdata import FDataGrid
+
+
+@pytest.fixture
+def curves_with_outlier(rng):
+    grid = np.linspace(0, 1, 60)
+    values = np.sin(2 * np.pi * grid)[None, :] + 0.1 * rng.standard_normal((25, 60))
+    values[24] = np.sin(2 * np.pi * grid) + 3.0  # magnitude outlier
+    return FDataGrid(values, grid)
+
+
+class TestFunctionalBoxplot:
+    def test_flags_magnitude_outlier(self, curves_with_outlier):
+        result = functional_boxplot(curves_with_outlier)
+        assert result.outlier_mask[24]
+        assert result.scores[24] > 0
+
+    def test_typical_curves_not_flagged(self, curves_with_outlier):
+        result = functional_boxplot(curves_with_outlier)
+        assert result.outlier_mask[:24].sum() <= 2
+
+    def test_envelope_ordering(self, curves_with_outlier):
+        result = functional_boxplot(curves_with_outlier)
+        assert (result.fence_lower <= result.lower).all()
+        assert (result.lower <= result.upper).all()
+        assert (result.upper <= result.fence_upper).all()
+
+    def test_median_inside_central_region(self, curves_with_outlier):
+        result = functional_boxplot(curves_with_outlier)
+        assert (result.median >= result.lower - 1e-12).all()
+        assert (result.median <= result.upper + 1e-12).all()
+
+    def test_scores_zero_inside_fence(self, curves_with_outlier):
+        result = functional_boxplot(curves_with_outlier)
+        inside = ~result.outlier_mask
+        np.testing.assert_array_equal(result.scores[inside], 0.0)
+
+    def test_higher_inflation_flags_less(self, curves_with_outlier):
+        strict = functional_boxplot(curves_with_outlier, inflation=0.5)
+        loose = functional_boxplot(curves_with_outlier, inflation=3.0)
+        assert loose.outlier_mask.sum() <= strict.outlier_mask.sum()
+
+    def test_shape_outlier_inside_band_not_flagged(self, rng):
+        """The functional boxplot is magnitude-only: a frequency outlier
+        living inside the envelope escapes — the known limitation that
+        motivates shape-aware methods."""
+        grid = np.linspace(0, 1, 60)
+        values = np.sin(2 * np.pi * grid)[None, :] + 0.2 * rng.standard_normal((25, 60))
+        # Same trend with a superimposed wiggle: stays inside the band.
+        values[24] = 0.95 * np.sin(2 * np.pi * grid) + 0.1 * np.sin(10 * np.pi * grid)
+        result = functional_boxplot(FDataGrid(values, grid))
+        assert not result.outlier_mask[24]
+
+    def test_needs_four_curves(self, rng):
+        grid = np.linspace(0, 1, 20)
+        with pytest.raises(ValidationError):
+            functional_boxplot(FDataGrid(rng.standard_normal((3, 20)), grid))
+
+    def test_parameter_validation(self, curves_with_outlier):
+        with pytest.raises(ValidationError):
+            functional_boxplot(curves_with_outlier, central_fraction=1.5)
+        with pytest.raises(ValidationError):
+            functional_boxplot(curves_with_outlier, inflation=0.0)

@@ -1,0 +1,47 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("fig1", "fig2", "fig3", "taxonomy", "all"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig3"])
+        assert args.reps == 15
+        assert args.seed == 7
+
+    def test_custom_options(self):
+        args = build_parser().parse_args(["fig3", "--reps", "50", "--seed", "1"])
+        assert args.reps == 50
+        assert args.seed == 1
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+
+class TestCommands:
+    def test_fig1_prints_table(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "AUC" in out
+
+    def test_fig2_prints_circles(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "circle r=2.0" in out
+
+    def test_fig3_small(self, capsys):
+        assert main(["fig3", "--reps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "iFor(Curvmap)" in out
+        assert "OCSVM(Curvmap)" in out
+        assert "c=0.25" in out

@@ -1,0 +1,136 @@
+"""Unit tests for pointwise multivariate depth functions."""
+
+import numpy as np
+import pytest
+
+from repro.depth.multivariate import (
+    halfspace_depth,
+    mahalanobis_depth,
+    projection_depth,
+    simplicial_depth,
+    spatial_depth,
+    stahel_donoho_outlyingness,
+)
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def cloud(rng):
+    return rng.standard_normal((200, 2))
+
+
+def _center_ranks_higher(depth_fn, cloud, **kwargs):
+    center = np.zeros((1, cloud.shape[1]))
+    far = np.full((1, cloud.shape[1]), 5.0)
+    d = depth_fn(np.vstack([center, far]), cloud, **kwargs)
+    return d[0], d[1]
+
+
+class TestMahalanobisDepth:
+    def test_center_deeper_than_tail(self, cloud):
+        d_center, d_far = _center_ranks_higher(mahalanobis_depth, cloud)
+        assert d_center > d_far
+
+    def test_range(self, cloud):
+        d = mahalanobis_depth(cloud, cloud)
+        assert (d > 0).all() and (d <= 1).all()
+
+    def test_affine_invariance(self, cloud, rng):
+        """Mahalanobis depth is exactly affine invariant."""
+        A = rng.standard_normal((2, 2)) + 2 * np.eye(2)
+        b = rng.standard_normal(2)
+        pts = rng.standard_normal((10, 2))
+        d1 = mahalanobis_depth(pts, cloud)
+        d2 = mahalanobis_depth(pts @ A.T + b, cloud @ A.T + b)
+        np.testing.assert_allclose(d1, d2, atol=1e-8)
+
+    def test_dimension_mismatch(self, cloud):
+        with pytest.raises(ValidationError):
+            mahalanobis_depth(np.zeros((1, 3)), cloud)
+
+
+class TestStahelDonoho:
+    def test_exact_univariate(self):
+        ref = np.arange(1.0, 12.0)[:, None]  # median 6, MAD = 3*1.4826
+        out = stahel_donoho_outlyingness(np.array([[6.0], [12.0]]), ref)
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(6.0 / (3 * 1.4826), rel=1e-6)
+
+    def test_monotone_along_ray(self, cloud):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [3.0, 3.0], [6.0, 6.0]])
+        out = stahel_donoho_outlyingness(pts, cloud, random_state=0)
+        assert (np.diff(out) > 0).all()
+
+    def test_degenerate_direction_guarded(self):
+        """A reference cloud constant in one coordinate must not divide
+        by a zero MAD."""
+        ref = np.column_stack([np.arange(20.0), np.zeros(20)])
+        out = stahel_donoho_outlyingness(np.array([[0.0, 5.0]]), ref, random_state=0)
+        assert np.isfinite(out).all()
+
+
+class TestProjectionDepth:
+    def test_reciprocal_relation(self, cloud):
+        pts = cloud[:5]
+        sdo = stahel_donoho_outlyingness(pts, cloud, random_state=1)
+        pd = projection_depth(pts, cloud, random_state=1)
+        np.testing.assert_allclose(pd, 1.0 / (1.0 + sdo))
+
+    def test_center_deeper(self, cloud):
+        d_center, d_far = _center_ranks_higher(projection_depth, cloud, random_state=0)
+        assert d_center > d_far
+
+
+class TestHalfspaceDepth:
+    def test_univariate_exact(self):
+        ref = np.arange(10.0)[:, None]
+        d = halfspace_depth(np.array([[0.0], [4.5], [9.0]]), ref)
+        assert d[0] == pytest.approx(0.1)
+        assert d[1] == pytest.approx(0.5)
+        assert d[2] == pytest.approx(0.1)
+
+    def test_max_half(self, cloud):
+        d = halfspace_depth(cloud, cloud, random_state=0)
+        assert d.max() <= 0.5 + 1e-12
+
+    def test_far_point_depth_zero(self, cloud):
+        d = halfspace_depth(np.array([[50.0, 50.0]]), cloud, random_state=0)
+        assert d[0] == pytest.approx(0.0)
+
+    def test_center_deeper(self, cloud):
+        d_center, d_far = _center_ranks_higher(halfspace_depth, cloud, random_state=0)
+        assert d_center > d_far
+
+
+class TestSpatialDepth:
+    def test_center_near_one(self, cloud):
+        d = spatial_depth(np.zeros((1, 2)), cloud)
+        assert d[0] > 0.9
+
+    def test_far_point_near_zero(self, cloud):
+        d = spatial_depth(np.array([[100.0, 0.0]]), cloud)
+        assert d[0] < 0.05
+
+    def test_point_in_reference_handled(self, cloud):
+        d = spatial_depth(cloud[:3], cloud)
+        assert np.isfinite(d).all()
+
+
+class TestSimplicialDepth:
+    def test_center_of_triangle(self):
+        ref = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, 1.0], [0.5, 0.4]])
+        d = simplicial_depth(np.array([[0.5, 0.3]]), ref)
+        assert d[0] > 0.4
+
+    def test_outside_point_zero(self):
+        ref = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, 1.0]])
+        d = simplicial_depth(np.array([[5.0, 5.0]]), ref)
+        assert d[0] == 0.0
+
+    def test_p2_only(self, rng):
+        with pytest.raises(ValidationError):
+            simplicial_depth(np.zeros((1, 3)), rng.standard_normal((10, 3)))
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValidationError):
+            simplicial_depth(np.zeros((1, 2)), np.zeros((2, 2)))

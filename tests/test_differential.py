@@ -1,0 +1,195 @@
+"""Unit tests for differential-geometry invariants on analytic curves."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.geometry.differential import (
+    arc_length,
+    cumulative_arc_length,
+    curvature,
+    speed,
+    tangent_angle,
+    torsion,
+    turning_rate,
+)
+
+
+@pytest.fixture
+def circle_derivs():
+    """Circle of radius 2: exact velocity/acceleration arrays."""
+    t = np.linspace(0.0, 2.0 * np.pi, 201)
+    v = np.stack([-2.0 * np.sin(t), 2.0 * np.cos(t)], axis=1)[None]
+    a = np.stack([-2.0 * np.cos(t), -2.0 * np.sin(t)], axis=1)[None]
+    return t, v, a
+
+
+class TestSpeed:
+    def test_circle_constant_speed(self, circle_derivs):
+        _, v, _ = circle_derivs
+        np.testing.assert_allclose(speed(v), 2.0)
+
+    def test_shape(self, circle_derivs):
+        _, v, _ = circle_derivs
+        assert speed(v).shape == (1, 201)
+
+    def test_2d_input_promoted(self):
+        v = np.ones((10, 3))
+        assert speed(v).shape == (1, 10)
+
+
+class TestArcLength:
+    def test_circle_circumference(self, circle_derivs):
+        t, v, _ = circle_derivs
+        np.testing.assert_allclose(arc_length(v, t), 4.0 * np.pi, rtol=1e-4)
+
+    def test_straight_line(self):
+        t = np.linspace(0, 1, 11)
+        v = np.stack([3.0 * np.ones(11), 4.0 * np.ones(11)], axis=1)[None]
+        np.testing.assert_allclose(arc_length(v, t), 5.0)
+
+    def test_cumulative_monotone_and_endpoints(self, circle_derivs):
+        t, v, _ = circle_derivs
+        s = cumulative_arc_length(v, t)
+        assert s[0, 0] == 0.0
+        assert (np.diff(s[0]) >= 0).all()
+        np.testing.assert_allclose(s[0, -1], 4.0 * np.pi, rtol=1e-4)
+
+    def test_grid_mismatch(self, circle_derivs):
+        t, v, _ = circle_derivs
+        with pytest.raises(ValidationError):
+            arc_length(v, t[:-1])
+
+
+class TestCurvature:
+    def test_circle_radius_reciprocal(self, circle_derivs):
+        _, v, a = circle_derivs
+        np.testing.assert_allclose(curvature(v, a), 0.5, atol=1e-12)
+
+    def test_line_zero(self):
+        t = np.linspace(0, 1, 21)
+        v = np.stack([np.ones(21), 2.0 * np.ones(21)], axis=1)[None]
+        a = np.zeros_like(v)
+        np.testing.assert_allclose(curvature(v, a), 0.0)
+
+    def test_parabola_apex(self):
+        """y = x^2 parametrized by x: curvature at the apex is 2."""
+        x = np.linspace(-1, 1, 201)
+        v = np.stack([np.ones_like(x), 2 * x], axis=1)[None]
+        a = np.stack([np.zeros_like(x), 2 * np.ones_like(x)], axis=1)[None]
+        kappa = curvature(v, a)
+        apex = np.argmin(np.abs(x))
+        assert kappa[0, apex] == pytest.approx(2.0, abs=1e-10)
+        # Formula check everywhere: kappa = 2 / (1 + 4x^2)^{3/2}
+        np.testing.assert_allclose(kappa[0], 2.0 / (1 + 4 * x**2) ** 1.5, atol=1e-10)
+
+    def test_parametrization_invariance(self, rng):
+        """Curvature is geometric: reparametrizing t -> t^2 must not
+        change it (up to the matching of points)."""
+        u = np.linspace(0.2, 1.0, 301)
+        # Path (cos u, sin u) with unit curvature...
+        v1 = np.stack([-np.sin(u), np.cos(u)], axis=1)[None]
+        a1 = np.stack([-np.cos(u), -np.sin(u)], axis=1)[None]
+        # ...reparametrized: u = s^2, chain rule gives v, a w.r.t. s.
+        s = np.sqrt(u)
+        du = 2 * s
+        ddu = 2 * np.ones_like(s)
+        v2 = v1 * du[None, :, None]
+        a2 = a1 * (du**2)[None, :, None] + v1 * ddu[None, :, None]
+        np.testing.assert_allclose(curvature(v2, a2), curvature(v1, a1), atol=1e-9)
+
+    def test_scaling_law(self, circle_derivs):
+        """Scaling a curve by factor s divides curvature by s."""
+        _, v, a = circle_derivs
+        np.testing.assert_allclose(curvature(3 * v, 3 * a), 0.5 / 3.0, atol=1e-12)
+
+    def test_regularization_damps_stalls(self):
+        """Near-zero velocity points blow up unregularized curvature but
+        are damped to ~0 with regularization."""
+        t = np.linspace(-1, 1, 101)
+        # Path (t^3, t^6): velocity vanishes at t=0 (singular parametrization).
+        v = np.stack([3 * t**2, 6 * t**5], axis=1)[None]
+        a = np.stack([6 * t, 30 * t**4], axis=1)[None]
+        raw = curvature(v, a)
+        damped = curvature(v, a, regularization=0.1)
+        near_stall = 52  # v tiny but nonzero: raw kappa ~ 2, damped ~ 0
+        assert damped[0, near_stall] < raw[0, near_stall]
+        assert np.isfinite(damped).all()
+        # Away from the stall the two must agree (damping is relative).
+        np.testing.assert_allclose(damped[0, :20], raw[0, :20], rtol=0.05)
+
+    def test_regularization_negative_rejected(self, circle_derivs):
+        _, v, a = circle_derivs
+        with pytest.raises(ValidationError):
+            curvature(v, a, regularization=-1.0)
+
+    def test_shape_mismatch(self, circle_derivs):
+        _, v, a = circle_derivs
+        with pytest.raises(ValidationError):
+            curvature(v, a[:, :-1])
+
+    def test_univariate_path_zero_curvature(self):
+        """p = 1 paths live on a line: curvature must vanish."""
+        t = np.linspace(0, 1, 51)
+        v = (1 + t**2)[None, :, None]
+        a = (2 * t)[None, :, None]
+        # Up to floating-point cancellation in the Lagrange identity.
+        np.testing.assert_allclose(curvature(v, a), 0.0, atol=1e-6)
+
+
+class TestTorsion:
+    def test_helix_constant(self):
+        c = 0.5
+        t = np.linspace(0, 4 * np.pi, 301)
+        v = np.stack([-np.sin(t), np.cos(t), c * np.ones_like(t)], axis=1)[None]
+        a = np.stack([-np.cos(t), -np.sin(t), np.zeros_like(t)], axis=1)[None]
+        j = np.stack([np.sin(t), -np.cos(t), np.zeros_like(t)], axis=1)[None]
+        np.testing.assert_allclose(torsion(v, a, j), c / (1 + c**2), atol=1e-12)
+
+    def test_planar_curve_zero(self):
+        t = np.linspace(0, 2 * np.pi, 101)
+        v = np.stack([-np.sin(t), np.cos(t), np.zeros_like(t)], axis=1)[None]
+        a = np.stack([-np.cos(t), -np.sin(t), np.zeros_like(t)], axis=1)[None]
+        j = np.stack([np.sin(t), -np.cos(t), np.zeros_like(t)], axis=1)[None]
+        np.testing.assert_allclose(torsion(v, a, j), 0.0, atol=1e-12)
+
+    def test_mirror_flips_sign(self):
+        c = 0.5
+        t = np.linspace(0, 2 * np.pi, 101)
+        v = np.stack([-np.sin(t), np.cos(t), c * np.ones_like(t)], axis=1)[None]
+        a = np.stack([-np.cos(t), -np.sin(t), np.zeros_like(t)], axis=1)[None]
+        j = np.stack([np.sin(t), -np.cos(t), np.zeros_like(t)], axis=1)[None]
+        mirror = np.array([1.0, 1.0, -1.0])
+        np.testing.assert_allclose(
+            torsion(v * mirror, a * mirror, j * mirror), -torsion(v, a, j), atol=1e-12
+        )
+
+    def test_requires_p3(self):
+        v = np.ones((1, 10, 2))
+        with pytest.raises(ValidationError):
+            torsion(v, v, v)
+
+
+class Test2DInvariants:
+    def test_tangent_angle_circle_unwraps(self, circle_derivs):
+        _, v, _ = circle_derivs
+        angles = tangent_angle(v)
+        # One full counterclockwise turn: angle grows by 2 pi.
+        assert angles[0, -1] - angles[0, 0] == pytest.approx(2 * np.pi, abs=1e-6)
+
+    def test_turning_rate_signed(self, circle_derivs):
+        _, v, a = circle_derivs
+        signed = turning_rate(v, a)
+        np.testing.assert_allclose(signed, 0.5, atol=1e-12)  # counterclockwise
+        np.testing.assert_allclose(turning_rate(v[..., ::-1], a[..., ::-1]), -0.5, atol=1e-12)
+
+    def test_abs_turning_rate_equals_curvature(self, circle_derivs):
+        _, v, a = circle_derivs
+        np.testing.assert_allclose(
+            np.abs(turning_rate(v, a)), curvature(v, a), atol=1e-12
+        )
+
+    def test_requires_p2(self):
+        v = np.ones((1, 5, 3))
+        with pytest.raises(ValidationError):
+            tangent_angle(v)

@@ -1,0 +1,89 @@
+"""Unit tests for the per-class composition ensemble (paper Sec. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import OutlierCompositionEnsemble
+from repro.data.synthetic import SyntheticMFD
+from repro.evaluation.metrics import roc_auc
+from repro.exceptions import NotFittedError, ValidationError
+from repro.fda.fdata import MFDataGrid
+
+
+@pytest.fixture(scope="module")
+def ensemble_setup():
+    """Per-class contaminated training sets + a labelled mixed test set."""
+    factory = SyntheticMFD(random_state=42)
+    classes = ["magnitude_isolated", "shape_persistent"]
+    training_sets = {}
+    for kind in classes:
+        inliers = factory.inliers(40)
+        outliers = factory.outliers(4, kind)
+        training_sets[kind] = MFDataGrid(
+            np.concatenate([inliers, outliers]), factory.grid
+        )
+    # Test set: inliers + both outlier classes.
+    test_inliers = factory.inliers(30)
+    test_mag = factory.outliers(4, "magnitude_isolated")
+    test_shape = factory.outliers(4, "shape_persistent")
+    test = MFDataGrid(
+        np.concatenate([test_inliers, test_mag, test_shape]), factory.grid
+    )
+    labels = np.r_[np.zeros(30, int), np.ones(8, int)]
+    kinds = ["inlier"] * 30 + ["magnitude_isolated"] * 4 + ["shape_persistent"] * 4
+    ensemble = OutlierCompositionEnsemble(classes, n_basis=16, random_state=0)
+    ensemble.fit(training_sets)
+    return ensemble, test, labels, kinds
+
+
+class TestConstruction:
+    def test_empty_classes_rejected(self):
+        with pytest.raises(ValidationError):
+            OutlierCompositionEnsemble([])
+
+    def test_duplicate_classes_rejected(self):
+        with pytest.raises(ValidationError):
+            OutlierCompositionEnsemble(["a", "a"])
+
+    def test_missing_training_set(self):
+        ensemble = OutlierCompositionEnsemble(["a", "b"])
+        with pytest.raises(ValidationError, match="missing training sets"):
+            ensemble.fit({"a": None})
+
+    def test_not_fitted(self, ensemble_setup):
+        _, test, _, _ = ensemble_setup
+        with pytest.raises(NotFittedError):
+            OutlierCompositionEnsemble(["a"]).score_samples(test)
+
+
+class TestScoring:
+    def test_detects_both_classes(self, ensemble_setup):
+        ensemble, test, labels, _ = ensemble_setup
+        scores = ensemble.score_samples(test)
+        assert roc_auc(scores, labels) > 0.85
+
+    def test_composition_shares_normalized(self, ensemble_setup):
+        ensemble, test, labels, _ = ensemble_setup
+        report = ensemble.composition(test)
+        assert report.shares.shape == (test.n_samples, 2)
+        assert (report.shares >= 0).all()
+        sums = report.shares.sum(axis=1)
+        positive = report.total > 0.5
+        np.testing.assert_allclose(sums[positive], 1.0, atol=1e-9)
+
+    def test_dominant_class_identifies_outlier_type(self, ensemble_setup):
+        """The paper's goal: read off the outlyingness composition.
+        Magnitude outliers should load on the magnitude member at least
+        as often as shape outliers do."""
+        ensemble, test, labels, kinds = ensemble_setup
+        report = ensemble.composition(test)
+        mag_idx = [i for i, k in enumerate(kinds) if k == "magnitude_isolated"]
+        shape_idx = [i for i, k in enumerate(kinds) if k == "shape_persistent"]
+        mag_share_on_mag = report.shares[mag_idx, 0].mean()
+        shape_share_on_mag = report.shares[shape_idx, 0].mean()
+        assert mag_share_on_mag >= shape_share_on_mag - 0.15
+
+    def test_dominant_class_accessor(self, ensemble_setup):
+        ensemble, test, _, _ = ensemble_setup
+        report = ensemble.composition(test)
+        assert report.dominant_class(0) in ("magnitude_isolated", "shape_persistent")

@@ -1,0 +1,86 @@
+"""Unit tests for Frenet frames and generalized curvatures."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.geometry.frenet import frenet_frame, generalized_curvature, gram_schmidt_frame
+
+
+class TestGramSchmidt:
+    def test_orthonormal_output(self, rng):
+        vectors = rng.standard_normal((20, 3, 4))
+        frame = gram_schmidt_frame(vectors)
+        for j in range(3):
+            np.testing.assert_allclose(
+                np.linalg.norm(frame[:, j, :], axis=1), 1.0, atol=1e-10
+            )
+        for j in range(3):
+            for k in range(j):
+                dots = np.sum(frame[:, j, :] * frame[:, k, :], axis=1)
+                np.testing.assert_allclose(dots, 0.0, atol=1e-10)
+
+    def test_degenerate_vector_zeroed(self):
+        vectors = np.zeros((1, 2, 3))
+        vectors[0, 0] = [1.0, 0.0, 0.0]
+        vectors[0, 1] = [2.0, 0.0, 0.0]  # linearly dependent
+        frame = gram_schmidt_frame(vectors)
+        np.testing.assert_allclose(frame[0, 1], 0.0)
+
+    def test_too_many_vectors_rejected(self):
+        with pytest.raises(ValidationError):
+            gram_schmidt_frame(np.ones((1, 4, 3)))
+
+    def test_preserves_span_direction(self):
+        vectors = np.array([[[3.0, 0.0], [1.0, 1.0]]])
+        frame = gram_schmidt_frame(vectors)
+        np.testing.assert_allclose(frame[0, 0], [1.0, 0.0])
+        np.testing.assert_allclose(frame[0, 1], [0.0, 1.0])
+
+
+class TestFrenetFrame:
+    def test_circle_frame(self):
+        t = np.linspace(0, 2 * np.pi, 100)
+        v = np.stack([-np.sin(t), np.cos(t)], axis=1)
+        a = np.stack([-np.cos(t), -np.sin(t)], axis=1)
+        frame = frenet_frame([v, a])
+        # e1 is the unit tangent; e2 the inward normal.
+        np.testing.assert_allclose(frame[:, 0, :], v, atol=1e-10)
+        np.testing.assert_allclose(frame[:, 1, :], a, atol=1e-10)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            frenet_frame([np.ones((5, 2)), np.ones((6, 2))])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            frenet_frame([])
+
+
+class TestGeneralizedCurvature:
+    def test_chi1_equals_curvature_circle(self):
+        t = np.linspace(0, 2 * np.pi, 400)
+        radius = 2.0
+        v = radius * np.stack([-np.sin(t), np.cos(t)], axis=1)
+        a = radius * np.stack([-np.cos(t), -np.sin(t)], axis=1)
+        chi1 = generalized_curvature([v, a], t, order=1)
+        np.testing.assert_allclose(chi1[5:-5], 1.0 / radius, atol=1e-3)
+
+    def test_chi2_equals_torsion_helix(self):
+        c = 0.5
+        t = np.linspace(0, 4 * np.pi, 800)
+        v = np.stack([-np.sin(t), np.cos(t), np.full_like(t, c)], axis=1)
+        a = np.stack([-np.cos(t), -np.sin(t), np.zeros_like(t)], axis=1)
+        j = np.stack([np.sin(t), -np.cos(t), np.zeros_like(t)], axis=1)
+        chi2 = generalized_curvature([v, a, j], t, order=2)
+        np.testing.assert_allclose(chi2[10:-10], c / (1 + c**2), atol=1e-3)
+
+    def test_insufficient_derivatives(self):
+        t = np.linspace(0, 1, 10)
+        with pytest.raises(ValidationError):
+            generalized_curvature([np.ones((10, 3))], t, order=2)
+
+    def test_grid_mismatch(self):
+        t = np.linspace(0, 1, 10)
+        with pytest.raises(ValidationError):
+            generalized_curvature([np.ones((12, 2)), np.ones((12, 2))], t, order=1)

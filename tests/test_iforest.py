@@ -1,0 +1,117 @@
+"""Unit tests for the from-scratch Isolation Forest."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.iforest import IsolationForest, average_path_length
+from repro.evaluation.metrics import roc_auc
+from repro.exceptions import NotFittedError, ValidationError
+
+
+class TestAveragePathLength:
+    def test_known_values(self):
+        assert average_path_length(1) == 0.0
+        assert average_path_length(2) == 1.0
+        # c(n) = 2 H(n-1) - 2(n-1)/n
+        n = 256
+        expected = 2 * (np.log(n - 1) + 0.5772156649015329) - 2 * (n - 1) / n
+        assert average_path_length(n) == pytest.approx(expected)
+
+    def test_monotone(self):
+        values = average_path_length(np.arange(2, 100))
+        assert (np.diff(values) > 0).all()
+
+    def test_vectorized(self):
+        out = average_path_length(np.array([1, 2, 10]))
+        assert out.shape == (3,)
+
+
+class TestIsolationForest:
+    def test_separates_gaussian_outliers(self, gaussian_cloud):
+        X, y = gaussian_cloud
+        forest = IsolationForest(random_state=0).fit(X)
+        assert roc_auc(forest.score_samples(X), y) > 0.95
+
+    def test_scores_in_unit_interval(self, gaussian_cloud):
+        X, _ = gaussian_cloud
+        scores = IsolationForest(random_state=0).fit(X).score_samples(X)
+        assert ((scores > 0) & (scores < 1)).all()
+
+    def test_center_scores_below_half(self, rng):
+        X = rng.standard_normal((500, 2))
+        forest = IsolationForest(random_state=1).fit(X)
+        center_score = forest.score_samples(np.zeros((1, 2)))[0]
+        far_score = forest.score_samples(np.array([[8.0, 8.0]]))[0]
+        assert center_score < 0.5 < far_score
+
+    def test_reproducible_with_seed(self, gaussian_cloud):
+        X, _ = gaussian_cloud
+        s1 = IsolationForest(random_state=5).fit(X).score_samples(X)
+        s2 = IsolationForest(random_state=5).fit(X).score_samples(X)
+        np.testing.assert_array_equal(s1, s2)
+
+    def test_different_seeds_differ(self, gaussian_cloud):
+        X, _ = gaussian_cloud
+        s1 = IsolationForest(random_state=1).fit(X).score_samples(X)
+        s2 = IsolationForest(random_state=2).fit(X).score_samples(X)
+        assert not np.array_equal(s1, s2)
+
+    def test_subsample_capped_at_n(self, rng):
+        X = rng.standard_normal((20, 2))
+        forest = IsolationForest(max_samples=256, random_state=0).fit(X)
+        assert forest._psi == 20
+
+    def test_score_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            IsolationForest().score_samples(np.zeros((2, 2)))
+
+    def test_feature_mismatch_after_fit(self, gaussian_cloud):
+        X, _ = gaussian_cloud
+        forest = IsolationForest(random_state=0).fit(X)
+        with pytest.raises(ValidationError):
+            forest.score_samples(np.zeros((2, 5)))
+
+    def test_predict_with_contamination(self, gaussian_cloud):
+        X, y = gaussian_cloud
+        forest = IsolationForest(random_state=0, contamination=0.05).fit(X)
+        labels = forest.predict(X)
+        assert set(np.unique(labels)) <= {-1, 1}
+        # Roughly the contamination fraction flagged on the training set.
+        assert np.mean(labels == -1) == pytest.approx(0.05, abs=0.03)
+
+    def test_natural_threshold_half(self, gaussian_cloud):
+        X, _ = gaussian_cloud
+        forest = IsolationForest(random_state=0).fit(X)
+        assert forest.threshold_ == 0.5
+
+    def test_constant_features_handled(self):
+        X = np.ones((50, 3))
+        forest = IsolationForest(random_state=0).fit(X)
+        scores = forest.score_samples(X)
+        assert np.isfinite(scores).all()
+        # All-identical points cannot be isolated: every score equal.
+        assert np.allclose(scores, scores[0])
+
+    def test_single_informative_feature(self, rng):
+        """Outliers separated on one of many noise features still found."""
+        X = rng.standard_normal((300, 10)) * 0.01
+        X[:, 3] = rng.standard_normal(300)
+        X_out = X[:5].copy()
+        X_out[:, 3] = 6.0
+        forest = IsolationForest(random_state=0).fit(np.vstack([X, X_out]))
+        scores = forest.score_samples(np.vstack([X, X_out]))
+        y = np.r_[np.zeros(300), np.ones(5)]
+        assert roc_auc(scores, y) > 0.9
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            IsolationForest(n_estimators=0)
+        with pytest.raises(ValidationError):
+            IsolationForest(max_samples=1)
+        with pytest.raises(ValidationError):
+            IsolationForest(contamination=0.7)
+
+    def test_fit_predict(self, gaussian_cloud):
+        X, _ = gaussian_cloud
+        labels = IsolationForest(random_state=0, contamination=0.1).fit_predict(X)
+        assert labels.shape == (X.shape[0],)

@@ -1,0 +1,128 @@
+"""Integration tests: full paper pipeline end to end.
+
+These exercise the complete chain — data generation, square
+augmentation, smoothing with LOO-CV basis selection, curvature mapping,
+detector fitting, contaminated evaluation — at reduced scale, and
+assert the *qualitative* claims of the paper:
+
+1. the geometric methods detect the ECG abnormal class well;
+2. they beat or match the depth baselines;
+3. they remain usable as training contamination grows;
+4. per-taxonomy behavior matches each method's design (FUNTA on shape,
+   Dir.out on magnitude, curvature on correlation/mixed).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.methods import (
+    DirOutMethod,
+    FuntaMethod,
+    MappedDetectorMethod,
+    default_methods,
+)
+from repro.data import make_ecg_dataset, make_taxonomy_dataset, square_augment
+from repro.depth import dirout_scores, funta_outlyingness
+from repro.evaluation import roc_auc, run_contamination_experiment
+
+
+@pytest.fixture(scope="module")
+def ecg_experiment_table():
+    data, labels, _ = make_ecg_dataset(n_normal=70, n_abnormal=35, random_state=7)
+    mfd = square_augment(data)
+    return run_contamination_experiment(
+        mfd,
+        labels,
+        default_methods(),
+        contamination_levels=(0.05, 0.25),
+        n_repetitions=4,
+        train_fraction=0.7,
+        random_state=7,
+    )
+
+
+class TestEcgEndToEnd:
+    def test_geometric_methods_detect_well(self, ecg_experiment_table):
+        table = ecg_experiment_table
+        assert table.mean("iFor(Curvmap)", 0.05) > 0.75
+        assert table.mean("OCSVM(Curvmap)", 0.05) > 0.75
+
+    def test_ocsvm_best_at_low_contamination(self, ecg_experiment_table):
+        table = ecg_experiment_table
+        others = [table.mean(m, 0.05) for m in ("Dir.out", "FUNTA")]
+        assert table.mean("OCSVM(Curvmap)", 0.05) > max(others) - 0.05
+
+    def test_robust_to_contamination(self, ecg_experiment_table):
+        """Paper Sec. 4.3: the geometric combination stays usable at 25%
+        training contamination."""
+        table = ecg_experiment_table
+        assert table.mean("iFor(Curvmap)", 0.25) > 0.7
+        assert table.mean("OCSVM(Curvmap)", 0.25) > 0.65
+
+    def test_funta_weakest_on_mixed_class(self, ecg_experiment_table):
+        """FUNTA only sees shape outliers (paper Sec. 1.2), so on the
+        mixed abnormal class it trails the geometric methods."""
+        table = ecg_experiment_table
+        assert table.mean("FUNTA", 0.05) < table.mean("OCSVM(Curvmap)", 0.05)
+
+
+class TestTaxonomyBehavior:
+    def test_curvature_sees_correlation_outliers(self):
+        """Correlation-breaking outliers (typical marginals!) are found
+        by the curvature pipeline — the paper's core motivation."""
+        data, labels = make_taxonomy_dataset(
+            "correlation", n_inliers=50, n_outliers=8, random_state=5
+        )
+        method = MappedDetectorMethod("iforest", n_basis=20)
+        idx = np.arange(data.n_samples)
+        scores = method.score_dataset(data, idx, idx, random_state=0)
+        assert roc_auc(scores, labels) > 0.9
+
+    def test_funta_sees_shape_outliers(self):
+        """FUNTA targets gentle-slope shape outliers (trend changes):
+        an opposite-trend curve crosses the bulk at near-maximal angles."""
+        from repro.fda.fdata import MFDataGrid
+
+        rng = np.random.default_rng(6)
+        grid = np.linspace(0, 1, 60)
+        slopes = rng.uniform(0.8, 1.2, 30)
+        inliers = slopes[:, None] * (grid[None, :] - 0.5)
+        outliers = -np.array([[1.0], [0.9]]) * (grid[None, :] - 0.5)
+        values = np.vstack([inliers, outliers]) + 0.01 * rng.standard_normal((32, 60))
+        data = MFDataGrid(np.stack([values, values * 0.5], axis=2), grid)
+        labels = np.r_[np.zeros(30, int), np.ones(2, int)]
+        scores = funta_outlyingness(data)
+        assert roc_auc(scores, labels) > 0.9
+
+    def test_dirout_sees_magnitude_outliers(self):
+        data, labels = make_taxonomy_dataset(
+            "magnitude_isolated", n_inliers=40, n_outliers=6, random_state=8
+        )
+        scores = dirout_scores(data, random_state=0)
+        assert roc_auc(scores, labels) > 0.9
+
+    def test_dirout_weak_on_pure_correlation_vs_curvature(self):
+        """The discriminating case: Dir.out relies on pointwise
+        outlyingness, correlation outliers have typical pointwise values
+        in each cross-section cloud along their path."""
+        data, labels = make_taxonomy_dataset(
+            "correlation", n_inliers=50, n_outliers=8, random_state=9
+        )
+        dirout_auc = roc_auc(dirout_scores(data, random_state=0), labels)
+        method = MappedDetectorMethod("iforest", n_basis=20)
+        idx = np.arange(data.n_samples)
+        curv_auc = roc_auc(method.score_dataset(data, idx, idx, random_state=0), labels)
+        assert curv_auc >= dirout_auc - 0.05
+
+
+class TestScoreOrientationConsistency:
+    """All four Figure-3 methods share the same score orientation."""
+
+    def test_all_methods_rank_planted_outlier_high(self, small_ecg):
+        data, labels, _ = small_ecg
+        mfd = square_augment(data)
+        idx = np.arange(mfd.n_samples)
+        for method in default_methods():
+            scores = method.score_dataset(mfd, idx, idx, random_state=0)
+            auc = roc_auc(scores, labels)
+            assert auc > 0.5, f"{method.name} is oriented wrong (AUC={auc:.3f})"

@@ -1,0 +1,100 @@
+"""Unit tests for SVM kernels."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.kernels import (
+    linear_kernel,
+    make_kernel,
+    polynomial_kernel,
+    rbf_kernel,
+    resolve_gamma,
+    sigmoid_kernel,
+)
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def points(rng):
+    return rng.standard_normal((6, 3)), rng.standard_normal((4, 3))
+
+
+class TestRbfKernel:
+    def test_diagonal_one(self, points):
+        a, _ = points
+        K = rbf_kernel(a, a, gamma=0.7)
+        np.testing.assert_allclose(np.diag(K), 1.0)
+
+    def test_symmetric_psd(self, points):
+        a, _ = points
+        K = rbf_kernel(a, a, gamma=0.5)
+        np.testing.assert_allclose(K, K.T, atol=1e-12)
+        assert np.linalg.eigvalsh(K).min() > -1e-10
+
+    def test_range(self, points):
+        a, b = points
+        K = rbf_kernel(a, b, gamma=1.0)
+        assert ((K > 0) & (K <= 1)).all()
+
+    def test_known_value(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[1.0, 1.0]])
+        assert rbf_kernel(a, b, gamma=0.5)[0, 0] == pytest.approx(np.exp(-1.0))
+
+    def test_gamma_positive(self, points):
+        a, _ = points
+        with pytest.raises(ValidationError):
+            rbf_kernel(a, a, gamma=0.0)
+
+
+class TestOtherKernels:
+    def test_linear_is_inner_product(self, points):
+        a, b = points
+        np.testing.assert_allclose(linear_kernel(a, b), a @ b.T)
+
+    def test_polynomial_known_value(self):
+        a = np.array([[1.0, 2.0]])
+        b = np.array([[3.0, 4.0]])
+        # (0.5 * 11 + 1)^2 = 42.25
+        value = polynomial_kernel(a, b, gamma=0.5, degree=2, coef0=1.0)[0, 0]
+        assert value == pytest.approx(42.25)
+
+    def test_sigmoid_bounded(self, points):
+        a, b = points
+        K = sigmoid_kernel(a, b, gamma=0.3)
+        assert (np.abs(K) <= 1.0).all()
+
+
+class TestResolveGamma:
+    def test_scale_heuristic(self, rng):
+        X = rng.standard_normal((100, 4)) * 2.0
+        gamma = resolve_gamma("scale", X)
+        assert gamma == pytest.approx(1.0 / (4 * X.var()), rel=1e-9)
+
+    def test_auto(self, rng):
+        X = rng.standard_normal((10, 5))
+        assert resolve_gamma("auto", X) == pytest.approx(0.2)
+
+    def test_float_passthrough(self, rng):
+        assert resolve_gamma(0.3, rng.standard_normal((3, 2))) == 0.3
+
+    def test_constant_data_guard(self):
+        X = np.ones((10, 2))
+        assert np.isfinite(resolve_gamma("scale", X))
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            resolve_gamma(-1.0, rng.standard_normal((3, 2)))
+
+
+class TestMakeKernel:
+    @pytest.mark.parametrize("name", ["rbf", "linear", "poly", "sigmoid"])
+    def test_builds_callable(self, name, points):
+        a, b = points
+        kernel = make_kernel(name, gamma=0.5)
+        K = kernel(a, b)
+        assert K.shape == (6, 4)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValidationError):
+            make_kernel("laplacian", gamma=1.0)

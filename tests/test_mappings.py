@@ -1,0 +1,172 @@
+"""Unit tests for the mapping functions (paper Sec. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.fda.basis import BSplineBasis
+from repro.fda.fdata import FDataGrid
+from repro.fda.smoothing import smooth_mfd
+from repro.geometry.mappings import (
+    ArcLengthMapping,
+    ComponentMapping,
+    CompositeMapping,
+    CurvatureMapping,
+    GeneralizedCurvatureMapping,
+    NormMapping,
+    SignedCurvatureMapping,
+    SpeedMapping,
+    TangentAngleMapping,
+    TorsionMapping,
+)
+
+
+@pytest.fixture
+def circle_fit(circle_mfd):
+    fit, _ = smooth_mfd(circle_mfd, lambda dom: BSplineBasis(dom, 25), smoothing=1e-5)
+    return fit, circle_mfd.grid
+
+
+class TestCurvatureMapping:
+    def test_recovers_circle_curvature(self, circle_fit):
+        fit, grid = circle_fit
+        mapped = CurvatureMapping(regularization=0.0).transform(fit, grid)
+        interior = mapped.values[:, 10:-10]
+        assert abs(interior.mean() - 0.5) < 0.05
+
+    def test_returns_fdatagrid(self, circle_fit):
+        fit, grid = circle_fit
+        out = CurvatureMapping().transform(fit, grid)
+        assert isinstance(out, FDataGrid)
+        assert out.values.shape == (fit.n_samples, grid.shape[0])
+
+    def test_name(self):
+        assert CurvatureMapping().name == "curvature"
+
+    def test_rejects_non_basis_input(self, circle_mfd):
+        with pytest.raises(ValidationError):
+            CurvatureMapping().transform(circle_mfd, circle_mfd.grid)
+
+    def test_transform_grid_finite_differences(self, circle_mfd):
+        """The raw finite-difference route approximates the true value."""
+        mapped = CurvatureMapping(regularization=0.0).transform_grid(circle_mfd)
+        interior = mapped.values[:, 10:-10]
+        assert abs(np.median(interior) - 0.5) < 0.1
+
+    def test_negative_regularization_rejected(self):
+        with pytest.raises(ValidationError):
+            CurvatureMapping(regularization=-0.5)
+
+
+class TestSpeedMapping:
+    def test_circle_speed(self, circle_fit):
+        fit, grid = circle_fit
+        mapped = SpeedMapping().transform(fit, grid)
+        interior = mapped.values[:, 5:-5]
+        assert abs(interior.mean() - 2.0) < 0.05
+
+    def test_name(self):
+        assert SpeedMapping().name == "speed"
+
+
+class TestArcLengthMapping:
+    def test_monotone_from_zero(self, circle_fit):
+        fit, grid = circle_fit
+        mapped = ArcLengthMapping().transform(fit, grid)
+        np.testing.assert_allclose(mapped.values[:, 0], 0.0)
+        assert (np.diff(mapped.values, axis=1) >= -1e-10).all()
+
+    def test_total_length(self, circle_fit):
+        fit, grid = circle_fit
+        mapped = ArcLengthMapping().transform(fit, grid)
+        np.testing.assert_allclose(mapped.values[:, -1], 4 * np.pi, rtol=0.02)
+
+
+class TestDimensionGuards:
+    def test_tangent_angle_needs_p2(self, sine_curves):
+        fit, _ = smooth_mfd(
+            sine_curves.to_multivariate(), lambda dom: BSplineBasis(dom, 10)
+        )
+        with pytest.raises(ValidationError, match="p >= 2"):
+            TangentAngleMapping().transform(fit, sine_curves.grid)
+
+    def test_torsion_needs_p3(self, circle_fit):
+        fit, grid = circle_fit
+        with pytest.raises(ValidationError, match="p >= 3"):
+            TorsionMapping().transform(fit, grid)
+
+    def test_signed_curvature_p2(self, circle_fit):
+        fit, grid = circle_fit
+        out = SignedCurvatureMapping().transform(fit, grid)
+        # Counterclockwise circle: signed curvature positive.
+        assert np.median(out.values[:, 10:-10]) > 0
+
+
+class TestGeneralizedCurvatureMapping:
+    def test_chi1_close_to_curvature(self, circle_fit):
+        fit, grid = circle_fit
+        chi1 = GeneralizedCurvatureMapping(1).transform(fit, grid)
+        kappa = CurvatureMapping(regularization=0.0).transform(fit, grid)
+        diff = np.abs(np.abs(chi1.values[:, 10:-10]) - kappa.values[:, 10:-10])
+        assert diff.mean() < 0.05
+
+    def test_name(self):
+        assert GeneralizedCurvatureMapping(2).name == "chi2"
+
+    def test_requires_enough_spline_order(self, circle_mfd):
+        fit, _ = smooth_mfd(circle_mfd, lambda dom: BSplineBasis(dom, 25, order=6))
+        chi = GeneralizedCurvatureMapping(1)
+        out = chi.transform(fit, circle_mfd.grid)
+        assert out.values.shape[0] == circle_mfd.n_samples
+
+
+class TestZerothOrderMappings:
+    def test_norm_mapping(self, circle_fit):
+        fit, grid = circle_fit
+        out = NormMapping().transform(fit, grid)
+        np.testing.assert_allclose(out.values, 2.0, atol=0.1)
+
+    def test_component_mapping(self, circle_fit):
+        fit, grid = circle_fit
+        out = ComponentMapping(0).transform(fit, grid)
+        direct = fit.evaluate(grid)[:, :, 0]
+        np.testing.assert_allclose(out.values, direct)
+
+    def test_component_out_of_range(self, circle_fit):
+        fit, grid = circle_fit
+        with pytest.raises(ValidationError):
+            ComponentMapping(5).transform(fit, grid)
+
+
+class TestCompositeMapping:
+    def test_concatenates_blocks(self, circle_fit):
+        fit, grid = circle_fit
+        composite = CompositeMapping([CurvatureMapping(), SpeedMapping()])
+        out = composite.transform(fit, grid)
+        assert out.values.shape == (fit.n_samples, 2 * grid.shape[0])
+
+    def test_name_joins(self):
+        composite = CompositeMapping([CurvatureMapping(), SpeedMapping()])
+        assert composite.name == "curvature+speed"
+
+    def test_required_derivatives_max(self):
+        composite = CompositeMapping([SpeedMapping(), CurvatureMapping()])
+        assert composite.required_derivatives == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            CompositeMapping([])
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ValidationError):
+            CompositeMapping([CurvatureMapping(), "speed"])
+
+    def test_blocks_match_individual_transforms(self, circle_fit):
+        fit, grid = circle_fit
+        composite = CompositeMapping([CurvatureMapping(), SpeedMapping()])
+        out = composite.transform(fit, grid)
+        m = grid.shape[0]
+        solo_kappa = CurvatureMapping().transform(fit, grid)
+        solo_speed = SpeedMapping().transform(fit, grid)
+        np.testing.assert_allclose(out.values[:, :m], solo_kappa.values)
+        np.testing.assert_allclose(out.values[:, m:], solo_speed.values)

@@ -1,0 +1,91 @@
+"""Tests for the less-travelled method-configuration paths."""
+
+import numpy as np
+import pytest
+
+from repro.core.methods import MappedDetectorMethod, make_method
+from repro.data import make_taxonomy_dataset
+from repro.evaluation.metrics import roc_auc
+from repro.geometry.mappings import CompositeMapping, CurvatureMapping, SpeedMapping
+
+
+@pytest.fixture(scope="module")
+def small_mfd():
+    return make_taxonomy_dataset("correlation", n_inliers=30, n_outliers=5, random_state=2)
+
+
+class TestFeatureOptions:
+    def test_transform_none(self, small_mfd):
+        data, labels = small_mfd
+        method = MappedDetectorMethod("iforest", n_basis=12, feature_transform=None)
+        state = method.prepare(data, random_state=0)
+        # Without log1p the features are the raw mapped values.
+        from repro.core.pipeline import GeometricOutlierPipeline
+        from repro.detectors import IsolationForest
+
+        pipe = GeometricOutlierPipeline(IsolationForest(random_state=0), n_basis=12)
+        pipe.fit(data)
+        np.testing.assert_allclose(state["features"], pipe.transform(data), atol=1e-9)
+
+    def test_standardize_off(self, small_mfd):
+        data, labels = small_mfd
+        method = MappedDetectorMethod("iforest", n_basis=12, standardize=False)
+        idx = np.arange(data.n_samples)
+        scores = method.score_dataset(data, idx, idx, random_state=0)
+        # iForest is scale-equivariant per feature, so this still works.
+        assert roc_auc(scores, labels) > 0.8
+
+    def test_log1p_preserves_sign(self, small_mfd):
+        data, _ = small_mfd
+        method = MappedDetectorMethod(
+            "iforest", mapping=SpeedMapping(), n_basis=12
+        )
+        state = method.prepare(data, random_state=0)
+        assert (state["features"] >= 0).all()  # speed is non-negative
+
+    def test_composite_mapping_through_method(self, small_mfd):
+        data, labels = small_mfd
+        mapping = CompositeMapping([CurvatureMapping(), SpeedMapping()])
+        method = MappedDetectorMethod("iforest", mapping=mapping, n_basis=12)
+        state = method.prepare(data, random_state=0)
+        assert state["features"].shape[1] == 2 * data.n_points
+        idx = np.arange(data.n_samples)
+        scores = method.fit_score(state, idx, idx, random_state=0)
+        assert roc_auc(scores, labels) > 0.8
+
+    def test_ocsvm_without_tuning(self, small_mfd):
+        data, labels = small_mfd
+        method = MappedDetectorMethod("ocsvm", n_basis=12, tune=False, nu=0.15)
+        idx = np.arange(data.n_samples)
+        scores = method.score_dataset(data, idx, idx, random_state=0)
+        assert scores.shape == (data.n_samples,)
+
+
+class TestMakeMethodKwargs:
+    def test_kwargs_forwarded(self):
+        method = make_method("iforest", n_estimators=50)
+        assert method.detector_kwargs["n_estimators"] == 50
+
+    def test_custom_name(self):
+        method = make_method("ocsvm", name="my-ocsvm")
+        assert method.name == "my-ocsvm"
+
+
+class TestDeterminism:
+    def test_same_seed_same_scores(self, small_mfd):
+        data, _ = small_mfd
+        idx = np.arange(data.n_samples)
+
+        def run():
+            method = MappedDetectorMethod("iforest", n_basis=12)
+            return method.score_dataset(data, idx, idx, random_state=123)
+
+        np.testing.assert_array_equal(run(), run())
+
+    def test_different_seed_different_forest(self, small_mfd):
+        data, _ = small_mfd
+        idx = np.arange(data.n_samples)
+        method = MappedDetectorMethod("iforest", n_basis=12)
+        s1 = method.score_dataset(data, idx, idx, random_state=1)
+        s2 = method.score_dataset(data, idx, idx, random_state=2)
+        assert not np.array_equal(s1, s2)

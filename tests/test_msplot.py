@@ -1,0 +1,64 @@
+"""Unit tests for the magnitude-shape plot analysis."""
+
+import numpy as np
+import pytest
+
+from repro.depth.msplot import ms_plot
+from repro.exceptions import ValidationError
+from repro.fda.fdata import FDataGrid
+
+
+@pytest.fixture
+def mixed_population(rng):
+    """Inliers + one magnitude outlier + one shape outlier."""
+    grid = np.linspace(0, 1, 50)
+    base = np.sin(2 * np.pi * grid)
+    values = base[None, :] + 0.1 * rng.standard_normal((30, 50))
+    values[28] = base + 3.0                       # magnitude
+    values[29] = np.sin(6 * np.pi * grid)         # shape
+    return FDataGrid(values, grid)
+
+
+class TestMsPlot:
+    def test_flags_both_outliers(self, mixed_population):
+        result = ms_plot(mixed_population, random_state=0)
+        assert result.outlier_mask[28]
+        assert result.outlier_mask[29]
+
+    def test_type_labels(self, mixed_population):
+        result = ms_plot(mixed_population, random_state=0)
+        assert result.types[28] in ("magnitude", "mixed")
+        assert result.types[29] in ("shape", "mixed")
+        # The pure magnitude shift loads on |MO|; the frequency outlier on VO.
+        assert result.magnitude[28] > result.magnitude[29]
+        assert result.shape[29] > result.shape[28]
+
+    def test_inliers_mostly_unflagged(self, mixed_population):
+        result = ms_plot(mixed_population, random_state=0)
+        assert result.outlier_mask[:28].sum() <= 3
+        assert all(t == "inlier" for i, t in enumerate(result.types[:28])
+                   if not result.outlier_mask[i])
+
+    def test_cutoff_respects_alpha(self, mixed_population):
+        loose = ms_plot(mixed_population, alpha=0.8, random_state=0)
+        strict = ms_plot(mixed_population, alpha=0.999, random_state=0)
+        assert strict.cutoff > loose.cutoff
+        assert strict.outlier_mask.sum() <= loose.outlier_mask.sum()
+
+    def test_alpha_bounds(self, mixed_population):
+        with pytest.raises(ValidationError):
+            ms_plot(mixed_population, alpha=1.5)
+
+    def test_too_few_samples(self, rng):
+        grid = np.linspace(0, 1, 10)
+        data = FDataGrid(rng.standard_normal((3, 10)), grid)
+        with pytest.raises(ValidationError):
+            ms_plot(data, random_state=0)
+
+    def test_coordinates_match_decomposition(self, mixed_population):
+        from repro.depth.dirout import directional_outlyingness
+
+        result = ms_plot(mixed_population, random_state=0)
+        decomposition = directional_outlyingness(mixed_population, random_state=0)
+        np.testing.assert_allclose(result.magnitude, decomposition.mean_magnitude)
+        np.testing.assert_allclose(result.shape, decomposition.variation)

@@ -1,0 +1,137 @@
+"""Unit tests for KNN, LOF and Mahalanobis extension detectors."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.knn import KNNDetector
+from repro.detectors.lof import LocalOutlierFactor
+from repro.detectors.mahalanobis import MahalanobisDetector
+from repro.evaluation.metrics import roc_auc
+from repro.exceptions import NotFittedError, ValidationError
+
+
+class TestKNNDetector:
+    def test_separates_outliers(self, gaussian_cloud):
+        X, y = gaussian_cloud
+        det = KNNDetector(n_neighbors=5).fit(X)
+        assert roc_auc(det.score_samples(X), y) > 0.95
+
+    def test_kth_distance_exact(self):
+        train = np.array([[0.0], [1.0], [2.0], [3.0]])
+        det = KNNDetector(n_neighbors=2).fit(train)
+        score = det.score_samples(np.array([[10.0]]))
+        assert score[0] == pytest.approx(8.0)  # distance to 2nd NN (value 2)
+
+    def test_mean_aggregation(self):
+        train = np.array([[0.0], [1.0], [2.0], [3.0]])
+        det = KNNDetector(n_neighbors=2, aggregation="mean").fit(train)
+        score = det.score_samples(np.array([[10.0]]))
+        assert score[0] == pytest.approx((7.0 + 8.0) / 2)
+
+    def test_self_exclusion_on_training_data(self, rng):
+        """Scoring the training set must not return zero distances."""
+        X = rng.standard_normal((30, 2))
+        det = KNNDetector(n_neighbors=3).fit(X)
+        assert (det.score_samples(X) > 0).all()
+
+    def test_bad_aggregation(self):
+        with pytest.raises(ValidationError):
+            KNNDetector(aggregation="max")
+
+    def test_too_few_rows(self):
+        with pytest.raises(ValidationError):
+            KNNDetector(n_neighbors=5).fit(np.zeros((4, 2)))
+
+
+class TestLocalOutlierFactor:
+    def test_separates_outliers(self, gaussian_cloud):
+        X, y = gaussian_cloud
+        det = LocalOutlierFactor(n_neighbors=20).fit(X)
+        assert roc_auc(det.score_samples(X), y) > 0.95
+
+    def test_uniform_cluster_scores_near_one(self, rng):
+        X = rng.uniform(0, 1, size=(400, 2))
+        det = LocalOutlierFactor(n_neighbors=15).fit(X)
+        inner = X[(X[:, 0] > 0.2) & (X[:, 0] < 0.8) & (X[:, 1] > 0.2) & (X[:, 1] < 0.8)]
+        scores = det.score_samples(inner)
+        assert abs(np.median(scores) - 1.0) < 0.1
+
+    def test_local_density_awareness(self, rng):
+        """A point between a tight and a loose cluster is outlying for
+        the tight cluster even at moderate absolute distance."""
+        tight = rng.standard_normal((100, 2)) * 0.1
+        loose = rng.standard_normal((100, 2)) * 2.0 + np.array([20.0, 0.0])
+        X = np.vstack([tight, loose])
+        det = LocalOutlierFactor(n_neighbors=10).fit(X)
+        # 1.5 away from the tight cluster: locally very anomalous.
+        score_near_tight = det.score_samples(np.array([[1.5, 0.0]]))[0]
+        score_inside_loose = det.score_samples(np.array([[20.0, 0.5]]))[0]
+        assert score_near_tight > score_inside_loose
+
+    def test_out_of_sample_scoring(self, gaussian_cloud):
+        X, _ = gaussian_cloud
+        det = LocalOutlierFactor(n_neighbors=10).fit(X[:100])
+        scores = det.score_samples(X[100:])
+        assert np.isfinite(scores).all()
+
+    def test_too_few_rows(self):
+        with pytest.raises(ValidationError):
+            LocalOutlierFactor(n_neighbors=30).fit(np.zeros((10, 2)))
+
+
+class TestMahalanobisDetector:
+    def test_separates_outliers(self, gaussian_cloud):
+        X, y = gaussian_cloud
+        det = MahalanobisDetector().fit(X)
+        assert roc_auc(det.score_samples(X), y) > 0.95
+
+    def test_scores_are_distances(self, rng):
+        X = rng.standard_normal((200, 2))
+        det = MahalanobisDetector(trim=0.0, n_refits=0, shrinkage=0.0).fit(X)
+        scores = det.score_samples(np.array([[0.0, 0.0], [3.0, 0.0]]))
+        assert scores[0] < 0.5
+        assert scores[1] == pytest.approx(3.0, abs=0.5)
+
+    def test_trimming_resists_contamination(self, rng):
+        """With 20% clustered contamination the trimmed estimator keeps
+        the outlier cluster far; the untrimmed one absorbs it."""
+        inliers = rng.standard_normal((160, 2))
+        blob = rng.standard_normal((40, 2)) * 0.3 + np.array([8.0, 8.0])
+        X = np.vstack([inliers, blob])
+        robust = MahalanobisDetector(trim=0.25, n_refits=3).fit(X)
+        naive = MahalanobisDetector(trim=0.0, n_refits=0).fit(X)
+        blob_center = np.array([[8.0, 8.0]])
+        assert robust.score_samples(blob_center)[0] > naive.score_samples(blob_center)[0]
+
+    def test_singular_covariance_handled(self):
+        X = np.column_stack([np.arange(10.0), np.arange(10.0)])  # rank 1
+        det = MahalanobisDetector(shrinkage=0.1).fit(X)
+        assert np.isfinite(det.score_samples(X)).all()
+
+    def test_too_few_rows(self):
+        with pytest.raises(ValidationError):
+            MahalanobisDetector().fit(np.zeros((2, 2)))
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            MahalanobisDetector().score_samples(np.zeros((1, 2)))
+
+
+class TestDetectorBaseBehavior:
+    def test_decision_function_requires_threshold(self, gaussian_cloud):
+        X, _ = gaussian_cloud
+        det = KNNDetector(n_neighbors=5).fit(X)  # no natural threshold
+        with pytest.raises(NotFittedError):
+            det.decision_function(X)
+
+    def test_contamination_threshold_quantile(self, gaussian_cloud):
+        X, _ = gaussian_cloud
+        det = KNNDetector(n_neighbors=5, contamination=0.1).fit(X)
+        flagged = np.mean(det.predict(X) == -1)
+        assert flagged == pytest.approx(0.1, abs=0.05)
+
+    def test_1d_input_rejected(self, gaussian_cloud):
+        X, _ = gaussian_cloud
+        det = KNNDetector(n_neighbors=5).fit(X)
+        with pytest.raises(ValidationError):
+            det.score_samples(np.zeros(5))

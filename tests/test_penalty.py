@@ -1,0 +1,69 @@
+"""Unit tests for roughness penalty matrices (paper Eq. 3's R matrix)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BasisError
+from repro.fda.basis import BSplineBasis, FourierBasis, MonomialBasis
+from repro.fda.penalty import gram_matrix, penalty_matrix
+
+
+class TestPenaltyMatrix:
+    def test_symmetric_psd(self):
+        basis = BSplineBasis((0.0, 1.0), n_basis=10)
+        R = penalty_matrix(basis, derivative=2)
+        np.testing.assert_allclose(R, R.T, atol=1e-12)
+        eigenvalues = np.linalg.eigvalsh(R)
+        assert eigenvalues.min() > -1e-8
+
+    def test_nullspace_dimension(self):
+        """The q = 2 penalty annihilates exactly the linear functions:
+        nullspace dimension 2 for a cubic spline basis."""
+        basis = BSplineBasis((0.0, 1.0), n_basis=8)
+        R = penalty_matrix(basis, derivative=2)
+        eigenvalues = np.sort(np.linalg.eigvalsh(R))
+        scale = eigenvalues[-1]
+        assert (np.abs(eigenvalues[:2]) < 1e-8 * scale).all()
+        assert eigenvalues[2] > 1e-6 * scale
+
+    def test_monomial_closed_form(self):
+        """For monomials 1, s, s^2 on [-1, 1]: D^2 -> (0, 0, 2), so
+        R = [[0,0,0],[0,0,0],[0,0,8]] (integral of 2*2 over length 2)."""
+        basis = MonomialBasis((-1.0, 1.0), n_basis=3)
+        R = penalty_matrix(basis, derivative=2)
+        expected = np.zeros((3, 3))
+        expected[2, 2] = 8.0
+        np.testing.assert_allclose(R, expected, atol=1e-10)
+
+    def test_fourier_diagonal(self):
+        """Fourier D^q penalties are diagonal: derivative of a harmonic
+        stays in the same frequency pair."""
+        basis = FourierBasis((0.0, 1.0), n_basis=5)
+        R = penalty_matrix(basis, derivative=2, n_nodes=64)
+        off_diag = R - np.diag(np.diag(R))
+        np.testing.assert_allclose(off_diag, 0.0, atol=1e-6)
+
+    def test_derivative_beyond_max_rejected(self):
+        basis = BSplineBasis((0.0, 1.0), n_basis=5, order=3)
+        with pytest.raises(BasisError):
+            penalty_matrix(basis, derivative=5)
+
+    def test_q0_equals_gram(self):
+        basis = BSplineBasis((0.0, 1.0), n_basis=6)
+        np.testing.assert_allclose(
+            penalty_matrix(basis, derivative=0), gram_matrix(basis), atol=1e-12
+        )
+
+
+class TestGramMatrix:
+    def test_bspline_rows_integrate_to_knot_spans(self):
+        """Row sums of the Gram matrix equal the integrals of each basis
+        function (partition of unity integrates to the domain length)."""
+        basis = BSplineBasis((0.0, 2.0), n_basis=7)
+        gram = gram_matrix(basis)
+        assert gram.sum() == pytest.approx(2.0, abs=1e-10)
+
+    def test_positive_definite(self):
+        basis = BSplineBasis((0.0, 1.0), n_basis=8)
+        eigenvalues = np.linalg.eigvalsh(gram_matrix(basis))
+        assert eigenvalues.min() > 0

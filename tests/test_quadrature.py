@@ -1,0 +1,115 @@
+"""Unit tests for repro.fda.quadrature."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.fda.quadrature import (
+    gauss_legendre_nodes,
+    integrate_function,
+    integrate_sampled,
+    simpson_weights,
+    trapezoid_weights,
+)
+
+
+class TestTrapezoidWeights:
+    def test_uniform_grid_integral_of_one(self):
+        grid = np.linspace(0.0, 2.0, 21)
+        w = trapezoid_weights(grid)
+        assert w.sum() == pytest.approx(2.0)
+
+    def test_irregular_grid(self):
+        grid = np.array([0.0, 0.1, 0.5, 1.0])
+        w = trapezoid_weights(grid)
+        # Integrating f(t) = t over [0, 1] exactly (trapezoid is exact for linear).
+        assert w @ grid == pytest.approx(0.5)
+
+    def test_linear_exactness(self):
+        grid = np.sort(np.random.default_rng(0).uniform(0, 1, 30))
+        grid[0], grid[-1] = 0.0, 1.0
+        w = trapezoid_weights(grid)
+        assert w @ (3 * grid + 2) == pytest.approx(3.5)
+
+
+class TestSimpsonWeights:
+    def test_cubic_exactness(self):
+        grid = np.linspace(0.0, 1.0, 11)
+        w = simpson_weights(grid)
+        # Simpson integrates cubics exactly.
+        assert w @ grid**3 == pytest.approx(0.25)
+
+    def test_rejects_even_point_count(self):
+        with pytest.raises(ValidationError, match="odd"):
+            simpson_weights(np.linspace(0, 1, 10))
+
+    def test_rejects_irregular(self):
+        with pytest.raises(ValidationError, match="uniform"):
+            simpson_weights(np.array([0.0, 0.1, 0.5, 0.7, 1.0]))
+
+
+class TestIntegrateSampled:
+    def test_scalar_result_for_vector(self):
+        grid = np.linspace(0, np.pi, 201)
+        value = integrate_sampled(np.sin(grid), grid)
+        assert value == pytest.approx(2.0, abs=1e-3)
+
+    def test_vectorized_over_samples(self):
+        grid = np.linspace(0, 1, 51)
+        values = np.vstack([grid, grid**2])
+        out = integrate_sampled(values, grid)
+        np.testing.assert_allclose(out, [0.5, 1 / 3], atol=1e-3)
+
+    def test_simpson_rule_option(self):
+        grid = np.linspace(0, 1, 51)
+        assert integrate_sampled(grid**3, grid, rule="simpson") == pytest.approx(0.25)
+
+    def test_unknown_rule(self):
+        grid = np.linspace(0, 1, 5)
+        with pytest.raises(ValidationError):
+            integrate_sampled(grid, grid, rule="midpoint")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            integrate_sampled(np.ones(4), np.linspace(0, 1, 5))
+
+
+class TestGaussLegendre:
+    def test_polynomial_exactness(self):
+        nodes, weights = gauss_legendre_nodes(0.0, 1.0, 5)
+        # 5 nodes integrate degree <= 9 exactly.
+        assert weights @ nodes**9 == pytest.approx(0.1)
+
+    def test_interval_mapping(self):
+        nodes, weights = gauss_legendre_nodes(-2.0, 3.0, 8)
+        assert nodes.min() > -2 and nodes.max() < 3
+        assert weights.sum() == pytest.approx(5.0)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValidationError):
+            gauss_legendre_nodes(1.0, 0.0, 4)
+
+
+class TestIntegrateFunction:
+    def test_scalar_integrand(self):
+        value = integrate_function(np.sin, 0.0, np.pi)
+        assert value == pytest.approx(2.0)
+
+    def test_matrix_integrand(self):
+        def outer(points):
+            design = np.stack([np.ones_like(points), points], axis=1)
+            return design[:, :, None] * design[:, None, :]
+
+        gram = integrate_function(outer, 0.0, 1.0)
+        np.testing.assert_allclose(gram, [[1.0, 0.5], [0.5, 1 / 3]], atol=1e-12)
+
+    def test_breakpoints_piecewise(self):
+        # |t - 0.5| has a kink: piecewise GL handles it exactly.
+        value = integrate_function(
+            lambda t: np.abs(t - 0.5), 0.0, 1.0, n_nodes=4, breakpoints=np.array([0.5])
+        )
+        assert value == pytest.approx(0.25)
+
+    def test_empty_breakpoints(self):
+        value = integrate_function(lambda t: t, 0.0, 1.0, breakpoints=np.empty(0))
+        assert value == pytest.approx(0.5)

@@ -1,0 +1,71 @@
+"""Unit tests for result aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.results import ResultRecord, ResultTable
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def table():
+    t = ResultTable()
+    for rep, auc in enumerate([0.9, 0.92, 0.88]):
+        t.add("iFor", 0.05, rep, auc)
+    for rep, auc in enumerate([0.8, 0.82]):
+        t.add("iFor", 0.25, rep, auc)
+    for rep, auc in enumerate([0.7, 0.75, 0.72]):
+        t.add("FUNTA", 0.05, rep, auc)
+    return t
+
+
+class TestResultRecord:
+    def test_auc_bounds(self):
+        with pytest.raises(ValidationError):
+            ResultRecord("m", 0.05, 0, 1.2)
+
+
+class TestResultTable:
+    def test_methods_preserve_insertion_order(self, table):
+        assert table.methods == ["iFor", "FUNTA"]
+
+    def test_contamination_levels_sorted(self, table):
+        assert table.contamination_levels == [0.05, 0.25]
+
+    def test_mean(self, table):
+        assert table.mean("iFor", 0.05) == pytest.approx(0.9)
+
+    def test_std_sample(self, table):
+        values = np.array([0.9, 0.92, 0.88])
+        assert table.std("iFor", 0.05) == pytest.approx(values.std(ddof=1))
+
+    def test_std_single_value_zero(self):
+        t = ResultTable()
+        t.add("m", 0.1, 0, 0.9)
+        assert t.std("m", 0.1) == 0.0
+
+    def test_missing_cell_raises(self, table):
+        with pytest.raises(ValidationError):
+            table.mean("FUNTA", 0.25)
+
+    def test_series(self, table):
+        levels, means, stds = table.series("iFor")
+        np.testing.assert_array_equal(levels, [0.05, 0.25])
+        assert means[0] == pytest.approx(0.9)
+        assert means[1] == pytest.approx(0.81)
+
+    def test_to_text_contains_cells(self, table):
+        text = table.to_text()
+        assert "iFor" in text and "FUNTA" in text
+        assert "c=0.05" in text and "c=0.25" in text
+        assert "0.900" in text
+
+    def test_to_records_roundtrip(self, table):
+        records = table.to_records()
+        assert len(records) == 8
+        assert records[0] == {
+            "method": "iFor",
+            "contamination": 0.05,
+            "repetition": 0,
+            "auc": 0.9,
+        }

@@ -1,0 +1,87 @@
+"""Unit tests for contaminated splitting and k-fold indices."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.splits import Split, contaminated_split, kfold_indices
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def labels():
+    return np.r_[np.zeros(100, dtype=int), np.ones(30, dtype=int)]
+
+
+class TestContaminatedSplit:
+    def test_training_contamination_close_to_target(self, labels):
+        for c in (0.05, 0.15, 0.25):
+            split = contaminated_split(labels, c, random_state=0)
+            train_labels = labels[split.train]
+            achieved = train_labels.mean()
+            assert achieved == pytest.approx(c, abs=0.03)
+
+    def test_no_overlap(self, labels):
+        split = contaminated_split(labels, 0.1, random_state=1)
+        assert np.intersect1d(split.train, split.test).size == 0
+
+    def test_covers_all_samples(self, labels):
+        split = contaminated_split(labels, 0.1, random_state=1)
+        combined = np.sort(np.concatenate([split.train, split.test]))
+        np.testing.assert_array_equal(combined, np.arange(130))
+
+    def test_test_set_contains_both_classes(self, labels):
+        split = contaminated_split(labels, 0.25, random_state=2)
+        test_labels = labels[split.test]
+        assert test_labels.min() == 0 and test_labels.max() == 1
+
+    def test_train_fraction(self, labels):
+        split = contaminated_split(labels, 0.1, train_fraction=0.7, random_state=3)
+        n_train_inliers = (labels[split.train] == 0).sum()
+        assert n_train_inliers == pytest.approx(70, abs=1)
+
+    def test_reproducible(self, labels):
+        s1 = contaminated_split(labels, 0.1, random_state=9)
+        s2 = contaminated_split(labels, 0.1, random_state=9)
+        np.testing.assert_array_equal(np.sort(s1.train), np.sort(s2.train))
+
+    def test_different_seeds_differ(self, labels):
+        s1 = contaminated_split(labels, 0.1, random_state=1)
+        s2 = contaminated_split(labels, 0.1, random_state=2)
+        assert not np.array_equal(np.sort(s1.train), np.sort(s2.train))
+
+    def test_contamination_bounds(self, labels):
+        with pytest.raises(ValidationError):
+            contaminated_split(labels, 0.0)
+        with pytest.raises(ValidationError):
+            contaminated_split(labels, 0.5)
+
+    def test_too_few_outliers(self):
+        labels = np.r_[np.zeros(50, dtype=int), np.ones(1, dtype=int)]
+        with pytest.raises(ValidationError):
+            contaminated_split(labels, 0.2)
+
+    def test_split_overlap_guard(self):
+        with pytest.raises(ValidationError):
+            Split(train=np.array([0, 1]), test=np.array([1, 2]))
+
+
+class TestKfoldIndices:
+    def test_partition(self):
+        folds = kfold_indices(23, n_folds=5, random_state=0)
+        assert len(folds) == 5
+        all_validation = np.sort(np.concatenate([v for _, v in folds]))
+        np.testing.assert_array_equal(all_validation, np.arange(23))
+
+    def test_train_validation_disjoint(self):
+        for train, valid in kfold_indices(20, 4, random_state=1):
+            assert np.intersect1d(train, valid).size == 0
+            assert len(train) + len(valid) == 20
+
+    def test_too_many_folds(self):
+        with pytest.raises(ValidationError):
+            kfold_indices(3, n_folds=5)
+
+    def test_reproducible(self):
+        f1 = kfold_indices(10, 2, random_state=7)
+        f2 = kfold_indices(10, 2, random_state=7)
+        np.testing.assert_array_equal(f1[0][1], f2[0][1])

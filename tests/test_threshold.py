@@ -1,0 +1,90 @@
+"""Unit tests for threshold learning (paper Sec. 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.threshold import (
+    LearnedThreshold,
+    threshold_from_quantile,
+    threshold_from_roc,
+    threshold_max_f1,
+)
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def separable():
+    scores = np.array([0.1, 0.2, 0.3, 0.4, 0.8, 0.9])
+    labels = np.array([0, 0, 0, 0, 1, 1])
+    return scores, labels
+
+
+@pytest.fixture
+def overlapping(rng):
+    inlier_scores = rng.normal(0.0, 1.0, 200)
+    outlier_scores = rng.normal(2.5, 1.0, 40)
+    scores = np.concatenate([inlier_scores, outlier_scores])
+    labels = np.r_[np.zeros(200, int), np.ones(40, int)]
+    return scores, labels
+
+
+class TestThresholdFromRoc:
+    def test_perfect_separation(self, separable):
+        scores, labels = separable
+        learned = threshold_from_roc(scores, labels)
+        assert 0.4 < learned.value < 0.8
+        assert learned.objective == pytest.approx(1.0)  # J = 1 when separable
+        np.testing.assert_array_equal(
+            learned.predict(scores), np.r_[np.ones(4), -np.ones(2)]
+        )
+
+    def test_overlapping_reasonable(self, overlapping):
+        scores, labels = overlapping
+        learned = threshold_from_roc(scores, labels)
+        # Optimal J point lies between the two means.
+        assert 0.0 < learned.value < 2.5
+        assert learned.objective > 0.5
+
+    def test_criterion_name(self, separable):
+        assert threshold_from_roc(*separable).criterion == "youden"
+
+
+class TestThresholdMaxF1:
+    def test_perfect_separation(self, separable):
+        scores, labels = separable
+        learned = threshold_max_f1(scores, labels)
+        assert learned.objective == pytest.approx(1.0)
+        assert 0.4 < learned.value < 0.8
+
+    def test_overlapping_positive_f1(self, overlapping):
+        scores, labels = overlapping
+        learned = threshold_max_f1(scores, labels)
+        assert learned.objective > 0.6
+
+    def test_single_distinct_score_rejected(self):
+        with pytest.raises(ValidationError):
+            threshold_max_f1(np.ones(5), np.array([0, 0, 0, 1, 1]))
+
+
+class TestThresholdFromQuantile:
+    def test_flags_target_fraction(self, rng):
+        scores = rng.standard_normal(1000)
+        learned = threshold_from_quantile(scores, 0.1)
+        flagged = np.mean(learned.predict(scores) == -1)
+        assert flagged == pytest.approx(0.1, abs=0.01)
+
+    def test_contamination_bounds(self, rng):
+        with pytest.raises(ValidationError):
+            threshold_from_quantile(rng.standard_normal(10), 0.7)
+
+    def test_needs_two_scores(self):
+        with pytest.raises(ValidationError):
+            threshold_from_quantile(np.array([1.0]), 0.1)
+
+
+class TestLearnedThreshold:
+    def test_predict_orientation(self):
+        learned = LearnedThreshold(value=0.5, criterion="manual", objective=0.0)
+        np.testing.assert_array_equal(
+            learned.predict([0.4, 0.6]), np.array([1, -1])
+        )

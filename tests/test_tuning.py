@@ -1,0 +1,76 @@
+"""Unit tests for unsupervised hyper-parameter tuning."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.knn import KNNDetector
+from repro.evaluation.tuning import TuningResult, grid_search, tune_nu
+from repro.exceptions import ValidationError
+
+
+class TestTuneNu:
+    def test_returns_candidate(self, rng):
+        X = rng.standard_normal((80, 3))
+        result = tune_nu(X, candidates=(0.05, 0.1, 0.2), random_state=0)
+        assert result.best in (0.05, 0.1, 0.2)
+        assert set(result.scores) == {0.05, 0.1, 0.2}
+
+    def test_scores_are_gaps(self, rng):
+        X = rng.standard_normal((60, 2))
+        result = tune_nu(X, candidates=(0.1,), random_state=0)
+        assert 0.0 <= result.scores[0.1] <= 1.0
+
+    def test_reproducible(self, rng):
+        X = rng.standard_normal((60, 2))
+        r1 = tune_nu(X, candidates=(0.05, 0.2), random_state=5)
+        r2 = tune_nu(X, candidates=(0.05, 0.2), random_state=5)
+        assert r1.best == r2.best
+        assert r1.scores == r2.scores
+
+    def test_empty_candidates(self, rng):
+        with pytest.raises(ValidationError):
+            tune_nu(rng.standard_normal((20, 2)), candidates=())
+
+    def test_result_requires_scores(self):
+        with pytest.raises(ValidationError):
+            TuningResult(best=0.1, scores={})
+
+
+class TestGridSearch:
+    def test_finds_best_by_criterion(self, rng):
+        X = rng.standard_normal((60, 2))
+
+        def criterion(detector, X_train, X_valid):
+            # Prefer smaller mean validation score (denser fit).
+            return float(np.mean(detector.score_samples(X_valid)))
+
+        result = grid_search(
+            X,
+            lambda n_neighbors: KNNDetector(n_neighbors=n_neighbors),
+            {"n_neighbors": [1, 5, 15]},
+            criterion,
+            random_state=0,
+        )
+        assert result.best["n_neighbors"] in (1, 5, 15)
+        assert len(result.scores) == 3
+
+    def test_cartesian_product(self, rng):
+        X = rng.standard_normal((40, 2))
+
+        result = grid_search(
+            X,
+            lambda n_neighbors, aggregation: KNNDetector(n_neighbors, aggregation),
+            {"n_neighbors": [2, 4], "aggregation": ["kth", "mean"]},
+            lambda det, tr, va: 0.0,
+            random_state=0,
+        )
+        assert len(result.scores) == 4
+
+    def test_empty_grid(self, rng):
+        with pytest.raises(ValidationError):
+            grid_search(
+                rng.standard_normal((20, 2)),
+                lambda: None,
+                {},
+                lambda det, tr, va: 0.0,
+            )

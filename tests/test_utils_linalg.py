@@ -1,0 +1,78 @@
+"""Unit tests for repro.utils.linalg."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.linalg import pairwise_sq_dists, safe_inverse_sqrt, solve_psd, symmetrize
+
+
+class TestSymmetrize:
+    def test_symmetric_output(self):
+        A = np.array([[1.0, 2.0], [0.0, 1.0]])
+        S = symmetrize(A)
+        np.testing.assert_allclose(S, S.T)
+        np.testing.assert_allclose(S, [[1.0, 1.0], [1.0, 1.0]])
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValidationError):
+            symmetrize(np.ones((2, 3)))
+
+
+class TestSolvePsd:
+    def test_spd_exact(self, rng):
+        A = rng.standard_normal((6, 6))
+        M = A @ A.T + 6 * np.eye(6)
+        x_true = rng.standard_normal(6)
+        x = solve_psd(M, M @ x_true)
+        np.testing.assert_allclose(x, x_true, atol=1e-8)
+
+    def test_matrix_rhs(self, rng):
+        A = rng.standard_normal((5, 5))
+        M = A @ A.T + 5 * np.eye(5)
+        B = rng.standard_normal((5, 3))
+        X = solve_psd(M, B)
+        np.testing.assert_allclose(M @ X, B, atol=1e-8)
+
+    def test_singular_falls_back(self):
+        # Rank-deficient PSD matrix: should not raise.
+        M = np.outer([1.0, 1.0], [1.0, 1.0])
+        rhs = np.array([1.0, 1.0])
+        x = solve_psd(M, rhs)
+        np.testing.assert_allclose(M @ x, rhs, atol=1e-5)
+
+
+class TestSafeInverseSqrt:
+    def test_values(self):
+        out = safe_inverse_sqrt(np.array([4.0, 0.25]))
+        np.testing.assert_allclose(out, [0.5, 2.0])
+
+    def test_floor_prevents_inf(self):
+        out = safe_inverse_sqrt(np.array([0.0]))
+        assert np.isfinite(out).all()
+
+
+class TestPairwiseSqDists:
+    def test_against_naive(self, rng):
+        a = rng.standard_normal((7, 3))
+        b = rng.standard_normal((4, 3))
+        fast = pairwise_sq_dists(a, b)
+        naive = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(fast, naive, atol=1e-10)
+
+    def test_self_distances_zero_diag(self, rng):
+        a = rng.standard_normal((5, 2))
+        d = pairwise_sq_dists(a)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-10)
+
+    def test_nonnegative(self, rng):
+        a = rng.standard_normal((50, 4)) * 1e-8
+        assert (pairwise_sq_dists(a) >= 0).all()
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValidationError):
+            pairwise_sq_dists(rng.standard_normal((3, 2)), rng.standard_normal((3, 4)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            pairwise_sq_dists(np.array([1.0, 2.0]))
