@@ -4,18 +4,32 @@ Times the pipeline stages with pytest-benchmark so regressions in the
 numerics (B-spline evaluation, SMO, tree building, depth computation)
 are visible.  These are proper repeated-timing benchmarks, unlike the
 figure benches which run their workload once.
+
+The engine benchmarks at the bottom measure the two scaling levers of
+:mod:`repro.engine` on the Fig. 3 workload: factorization-cache reuse
+(warm vs. cold method preparation) and the parallel repetition fan-out
+(``n_jobs > 1`` vs. serial, with a bit-identity check).  Set
+``REPRO_BENCH_QUICK=1`` to shrink the workloads for CI smoke runs.
 """
+
+import os
+import time
 
 import numpy as np
 import pytest
 
+from repro.core.methods import MappedDetectorMethod, default_methods
 from repro.core.pipeline import GeometricOutlierPipeline
 from repro.data import make_ecg_dataset, square_augment
 from repro.depth import dirout_scores, funta_outlyingness
 from repro.detectors import IsolationForest, OneClassSVM
+from repro.engine import ExecutionContext
+from repro.evaluation.experiment import run_contamination_experiment
 from repro.fda.basis import BSplineBasis
 from repro.fda.fdata import FDataGrid
 from repro.fda.smoothing import BasisSmoother
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
 
 
 @pytest.fixture(scope="module")
@@ -93,3 +107,73 @@ class TestPipelineBenchmark:
             return pipeline.fit(mfd).score_samples(mfd)
         scores = benchmark.pedantic(run, rounds=2, iterations=1)
         assert scores.shape == (80,)
+
+
+class TestEngineBenchmarks:
+    """Cache-hit and parallel speedups of the shared execution engine."""
+
+    CANDIDATES = (8, 12, 16) if QUICK else (8, 12, 16, 20, 25, 30)
+
+    def test_prepare_cold_vs_warm_cache(self, ecg_small):
+        """Method preparation (LOO-CV sweep + smoothing + mapping) against a
+        cold vs. a pre-warmed factorization cache."""
+        mfd, _ = ecg_small
+        method = MappedDetectorMethod("iforest", n_basis=self.CANDIDATES)
+
+        cold_ctx = ExecutionContext()
+        start = time.perf_counter()
+        method.prepare(mfd, random_state=0, context=cold_ctx)
+        cold = time.perf_counter() - start
+
+        start = time.perf_counter()
+        method.prepare(mfd, random_state=0, context=cold_ctx)
+        warm = time.perf_counter() - start
+
+        stats = cold_ctx.cache.stats
+        print(
+            f"\nprepare: cold={cold * 1e3:.1f}ms warm={warm * 1e3:.1f}ms "
+            f"speedup={cold / max(warm, 1e-9):.1f}x "
+            f"(factorizations={stats.factorizations}, hits={stats.hits})"
+        )
+        # Every configuration was factorized exactly once, on the cold pass.
+        assert stats.factorizations == len(self.CANDIDATES)
+        assert warm < cold
+
+    def test_warm_prepare_benchmark(self, benchmark, ecg_small):
+        """Steady-state (fully cached) preparation cost for the sweep."""
+        mfd, _ = ecg_small
+        ctx = ExecutionContext()
+        method = MappedDetectorMethod("iforest", n_basis=self.CANDIDATES)
+        method.prepare(mfd, random_state=0, context=ctx)
+        state = benchmark(method.prepare, mfd, random_state=0, context=ctx)
+        assert state["features"].shape[0] == mfd.n_samples
+
+    def test_parallel_fig3_speedup(self, ecg_small):
+        """The Fig. 3 repetition fan-out: n_jobs=2 vs serial, bit-identical."""
+        mfd, labels = ecg_small
+        reps = 2 if QUICK else 6
+        levels = (0.1, 0.2) if QUICK else (0.05, 0.10, 0.15, 0.20, 0.25)
+        methods = default_methods() if not QUICK else [
+            MappedDetectorMethod("iforest", n_basis=12),
+            MappedDetectorMethod("ocsvm", n_basis=12),
+        ]
+
+        def run(n_jobs):
+            start = time.perf_counter()
+            table = run_contamination_experiment(
+                mfd, labels, methods,
+                contamination_levels=levels,
+                n_repetitions=reps,
+                random_state=7,
+                n_jobs=n_jobs,
+            )
+            return table, time.perf_counter() - start
+
+        serial_table, serial_time = run(1)
+        parallel_table, parallel_time = run(2)
+        print(
+            f"\nfig3 workload ({len(levels)} levels x {reps} reps): "
+            f"serial={serial_time:.2f}s n_jobs=2={parallel_time:.2f}s "
+            f"speedup={serial_time / max(parallel_time, 1e-9):.2f}x"
+        )
+        assert serial_table.to_records() == parallel_table.to_records()

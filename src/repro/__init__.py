@@ -23,6 +23,7 @@ Subpackages
 ``repro.data``       synthetic ECG and outlier-taxonomy generators
 ``repro.evaluation`` ROC/AUC, contaminated splits, experiment harness
 ``repro.core``       the paper's pipeline and the Figure-3 methods
+``repro.engine``     shared execution engine (factorization cache, parallel fan-out)
 """
 
 from repro.core import (
@@ -34,6 +35,7 @@ from repro.core import (
     make_method,
 )
 from repro.data import make_ecg_dataset, make_fig1_dataset, make_taxonomy_dataset, square_augment
+from repro.engine import ExecutionContext, FactorizationCache
 from repro.depth import dirout_scores, funta_depth, funta_outlyingness
 from repro.detectors import IsolationForest, OneClassSVM
 from repro.evaluation import ResultTable, roc_auc, run_contamination_experiment
@@ -47,6 +49,8 @@ __all__ = [
     "BSplineBasis",
     "CurvatureMapping",
     "DirOutMethod",
+    "ExecutionContext",
+    "FactorizationCache",
     "FDataGrid",
     "FuntaMethod",
     "GeometricOutlierPipeline",

@@ -4,7 +4,7 @@ Usage::
 
     python -m repro fig1
     python -m repro fig2
-    python -m repro fig3 --reps 50
+    python -m repro fig3 --reps 50 --n-jobs 4
     python -m repro taxonomy
     python -m repro all --reps 15
 
@@ -94,6 +94,7 @@ def run_fig3(args) -> None:
         train_fraction=0.7,
         random_state=args.seed,
         verbose=args.verbose,
+        n_jobs=args.n_jobs,
     )
     print()
     print(table.to_text(f"Figure 3: AUC vs contamination ({args.reps} repetitions)"))
@@ -144,6 +145,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--reps", type=int, default=15,
                         help="repetitions per contamination level (fig3; paper: 50)")
     parser.add_argument("--seed", type=int, default=7, help="master random seed")
+    parser.add_argument("--n-jobs", type=int, default=1,
+                        help="parallel workers for the repetition fan-out "
+                             "(fig3; -1 = one per core; results are identical "
+                             "to the serial run)")
     parser.add_argument("--verbose", action="store_true",
                         help="print per-repetition progress (fig3)")
     return parser

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.pipeline import GeometricOutlierPipeline
 from repro.depth.dirout import dirout_scores
+from repro.engine import ExecutionContext
 from repro.depth.funta import funta_outlyingness
 from repro.detectors.iforest import IsolationForest
 from repro.detectors.ocsvm import OneClassSVM
@@ -52,16 +53,24 @@ class Method(abc.ABC):
     name: str = "method"
 
     @abc.abstractmethod
-    def prepare(self, data: MFDataGrid, random_state=None):
-        """Precompute everything split-independent; returns an opaque state."""
+    def prepare(self, data: MFDataGrid, random_state=None, context=None):
+        """Precompute everything split-independent; returns an opaque state.
+
+        ``context`` is an optional shared
+        :class:`~repro.engine.ExecutionContext`; methods that smooth
+        route their factorizations through its cache so that methods
+        sharing a context also share linear-algebra artifacts.
+        """
 
     @abc.abstractmethod
     def fit_score(self, state, train_idx, test_idx, random_state=None) -> np.ndarray:
         """Fit on ``train_idx`` rows of the prepared state, score ``test_idx``."""
 
-    def score_dataset(self, data: MFDataGrid, train_idx, test_idx, random_state=None) -> np.ndarray:
+    def score_dataset(
+        self, data: MFDataGrid, train_idx, test_idx, random_state=None, context=None
+    ) -> np.ndarray:
         """One-shot convenience combining prepare + fit_score."""
-        state = self.prepare(data, random_state=random_state)
+        state = self.prepare(data, random_state=random_state, context=context)
         return self.fit_score(state, train_idx, test_idx, random_state=random_state)
 
 
@@ -98,6 +107,7 @@ def smooth_dataset(
     n_basis: int | None = None,
     smoothing: float = 1e-4,
     spline_order: int = 4,
+    cache=None,
 ) -> MFDataGrid:
     """Replace raw curves by their B-spline reconstructions on the grid.
 
@@ -105,14 +115,17 @@ def smooth_dataset(
     depth baselines, which — like every functional-data method — operate
     on the reconstructed functions rather than the raw noisy samples.
     ``n_basis=None`` uses a size of roughly a third of the measurement
-    count, a conservative default for denoising.
+    count, a conservative default for denoising.  ``cache`` optionally
+    shares a :class:`~repro.engine.FactorizationCache` across calls.
     """
     data = _as_mfd(data)
     if n_basis is None:
         n_basis = max(spline_order + 2, min(30, data.n_points // 3))
     smoothers = [
         BasisSmoother(
-            BSplineBasis(data.domain, n_basis, order=spline_order), smoothing=smoothing
+            BSplineBasis(data.domain, n_basis, order=spline_order),
+            smoothing=smoothing,
+            cache=cache,
         )
         for _ in range(data.n_parameters)
     ]
@@ -186,9 +199,9 @@ class MappedDetectorMethod(Method):
         else:
             label = "iFor" if detector_name == "iforest" else "OCSVM"
             map_label = getattr(self.mapping, "name", "map").capitalize()
-            self.name = f"{label}({map_label}map)" if map_label == "Curvature" else f"{label}({map_label})"
-            if map_label == "Curvature":
-                self.name = f"{label}(Curvmap)"
+            # The paper's Figure-3 label abbreviates "Curvature" to "Curvmap".
+            suffix = "Curvmap" if map_label == "Curvature" else map_label
+            self.name = f"{label}({suffix})"
 
     def _make_detector(self, nu: float | None, random_state):
         if self.detector_name == "iforest":
@@ -203,26 +216,24 @@ class MappedDetectorMethod(Method):
         kwargs.setdefault("kernel", "rbf")
         return OneClassSVM(**kwargs)
 
-    def prepare(self, data, random_state=None):
+    def prepare(self, data, random_state=None, context=None):
         data = _as_mfd(data)
         # The split-independent part: basis selection + smoothing + mapping
-        # for every sample (per-sample operations, as in the paper).
+        # for every sample (per-sample operations, as in the paper).  The
+        # shared context's cache guarantees one factorization per distinct
+        # (basis, grid, λ, penalty order) configuration across the sweep.
         pipeline = GeometricOutlierPipeline(
             detector=self._make_detector(None, random_state or 0),
             mapping=self.mapping,
             n_basis=self.n_basis,
             smoothing=self.smoothing,
+            context=context,
         )
-        sizes = pipeline._select_sizes(data)
-        pipeline.selected_n_basis_ = sizes
-        pipeline.smoothers_ = pipeline._make_smoothers(data, sizes)
-        pipeline.eval_grid_ = data.grid.copy()
-        pipeline._fitted = True
-        features = pipeline.transform(data)
+        features = pipeline.prepare(data)
         if self.feature_transform == "log1p":
             # log1p(|f|)*sign(f): monotone, sign-preserving tail compression.
             features = np.sign(features) * np.log1p(np.abs(features))
-        return {"features": features, "sizes": sizes}
+        return {"features": features, "sizes": pipeline.selected_n_basis_}
 
     def fit_score(self, state, train_idx, test_idx, random_state=None) -> np.ndarray:
         features = state["features"]
@@ -253,10 +264,11 @@ class FuntaMethod(Method):
         self.smooth = bool(smooth)
         self.name = name
 
-    def prepare(self, data, random_state=None):
+    def prepare(self, data, random_state=None, context=None):
         data = _as_mfd(data)
         if self.smooth:
-            data = smooth_dataset(data)
+            cache = context.cache if isinstance(context, ExecutionContext) else None
+            data = smooth_dataset(data, cache=cache)
         return {"data": data}
 
     def fit_score(self, state, train_idx, test_idx, random_state=None) -> np.ndarray:
@@ -281,10 +293,11 @@ class DirOutMethod(Method):
         self.smooth = bool(smooth)
         self.name = name
 
-    def prepare(self, data, random_state=None):
+    def prepare(self, data, random_state=None, context=None):
         data = _as_mfd(data)
         if self.smooth:
-            data = smooth_dataset(data)
+            cache = context.cache if isinstance(context, ExecutionContext) else None
+            data = smooth_dataset(data, cache=cache)
         return {"data": data}
 
     def fit_score(self, state, train_idx, test_idx, random_state=None) -> np.ndarray:

@@ -20,9 +20,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.detectors.base import OutlierDetector
+from repro.engine import ExecutionContext
 from repro.exceptions import NotFittedError, ValidationError
 from repro.fda.basis.bspline import BSplineBasis
 from repro.fda.fdata import FDataGrid, MFDataGrid, MultivariateBasisFData
+from repro.fda.fdata import BasisFData
 from repro.fda.selection import select_n_basis
 from repro.fda.smoothing import BasisSmoother
 from repro.geometry.base import MappingFunction
@@ -62,6 +64,12 @@ class GeometricOutlierPipeline:
         Number of evaluation points of the common grid on which mapped
         curves are vectorized (paper: the measurement grid length, 85).
         ``None`` reuses the training grid.
+    context:
+        A shared :class:`~repro.engine.ExecutionContext`.  Its
+        factorization cache backs every smoothing/selection solve, so
+        pipelines sharing a context never factorize the same
+        (basis, grid, λ, penalty order) configuration twice.  A private
+        context is created when omitted.
     """
 
     def __init__(
@@ -73,7 +81,13 @@ class GeometricOutlierPipeline:
         penalty_order: int = 2,
         spline_order: int = 4,
         eval_points: int | None = None,
+        context: ExecutionContext | None = None,
     ):
+        if context is not None and not isinstance(context, ExecutionContext):
+            raise ValidationError(
+                f"context must be an ExecutionContext, got {type(context).__name__}"
+            )
+        self.context = context if context is not None else ExecutionContext()
         if not isinstance(detector, OutlierDetector):
             raise ValidationError(
                 f"detector must be an OutlierDetector, got {type(detector).__name__}"
@@ -109,25 +123,45 @@ class GeometricOutlierPipeline:
         self._fitted = False
 
     # ------------------------------------------------------------------ internals
-    def _select_sizes(self, data: MFDataGrid) -> list[int]:
+    def _select_and_fit(
+        self, data: MFDataGrid
+    ) -> tuple[list[int], list[BasisSmoother], list[BasisFData]]:
+        """Batched selection: sizes, smoothers and *fitted* components.
+
+        Every candidate is scored against the shared factorization
+        cache, and the winner's fit reuses the cached factor — no
+        refit after selection (the engine's batched LOO-CV path).
+        """
         max_size = data.n_points  # unpenalized LS needs n_basis <= m
         if isinstance(self.n_basis, int):
-            return [min(self.n_basis, max_size)] * data.n_parameters
+            sizes = [min(self.n_basis, max_size)] * data.n_parameters
+            smoothers = self._make_smoothers(data, sizes)
+            components = [
+                smoother.fit_grid(data.parameter(k))
+                for k, smoother in enumerate(smoothers)
+            ]
+            return sizes, smoothers, components
         candidates = [c for c in self.n_basis if c <= max_size]
         if not candidates:
             candidates = [min(min(self.n_basis), max_size)]
-        sizes = []
+        sizes: list[int] = []
+        smoothers: list[BasisSmoother] = []
+        components: list[BasisFData] = []
         for k in range(data.n_parameters):
-            result = select_n_basis(
+            selection = select_n_basis(
                 data.parameter(k),
                 lambda dom, L: BSplineBasis(dom, L, order=self.spline_order),
                 candidates,
                 smoothing=self.smoothing,
                 penalty_order=self.penalty_order,
                 criterion="loocv",
+                cache=self.context.cache,
+                return_fitted=True,
             )
-            sizes.append(int(result.best))
-        return sizes
+            sizes.append(int(selection.best))
+            smoothers.append(selection.smoother)
+            components.append(selection.fit)
+        return sizes, smoothers, components
 
     def _make_smoothers(self, data: MFDataGrid, sizes: list[int]) -> list[BasisSmoother]:
         return [
@@ -135,6 +169,7 @@ class GeometricOutlierPipeline:
                 BSplineBasis(data.domain, sizes[k], order=self.spline_order),
                 smoothing=self.smoothing,
                 penalty_order=self.penalty_order,
+                cache=self.context.cache,
             )
             for k in range(data.n_parameters)
         ]
@@ -167,18 +202,32 @@ class GeometricOutlierPipeline:
         mapped = self.mapping.transform(fdata, self.eval_grid_)
         return mapped.values
 
-    def fit(self, data) -> "GeometricOutlierPipeline":
-        """Select bases, smooth, map and fit the detector on training MFD."""
+    def prepare(self, data) -> np.ndarray:
+        """Select bases, smooth and map ``data``; return training features.
+
+        This is the split-independent half of :meth:`fit`: it installs
+        the fitted smoothing state (``selected_n_basis_``,
+        ``smoothers_``, ``eval_grid_``) and returns the mapped feature
+        matrix without touching the detector.  The winning smoothers
+        come out of the batched selection already fitted, so no curve
+        is smoothed twice.
+        """
         data = self._check_input(data)
-        self.selected_n_basis_ = self._select_sizes(data)
-        self.smoothers_ = self._make_smoothers(data, self.selected_n_basis_)
+        sizes, smoothers, components = self._select_and_fit(data)
+        self.selected_n_basis_ = sizes
+        self.smoothers_ = smoothers
         if self.eval_points is None:
             self.eval_grid_ = data.grid.copy()
         else:
             low, high = data.domain
             self.eval_grid_ = np.linspace(low, high, self.eval_points)
         self._fitted = True
-        features = self.transform(data)
+        mapped = self.mapping.transform(MultivariateBasisFData(components), self.eval_grid_)
+        return mapped.values
+
+    def fit(self, data) -> "GeometricOutlierPipeline":
+        """Select bases, smooth, map and fit the detector on training MFD."""
+        features = self.prepare(data)
         self.detector.fit(features)
         return self
 

@@ -1,0 +1,21 @@
+"""Shared execution engine: factorization cache, batching, parallel fan-out.
+
+The engine layer decouples *what* the reproduction computes (smoothing,
+selection, mapping, detection — :mod:`repro.fda`, :mod:`repro.core`)
+from *how fast* it runs:
+
+* :class:`FactorizationCache` memoizes design matrices, roughness
+  penalties and normal-equation factorizations keyed by
+  ``(basis, grid, λ, penalty order)``;
+* :class:`ExecutionContext` threads one cache, a worker pool and a
+  seed-spawning scheme through the pipeline, the method registry and
+  the repetition harness (``run_contamination_experiment(n_jobs=...)``).
+
+Parallel schedules consume per-cell child seed streams, so results are
+bit-identical to the serial order.
+"""
+
+from repro.engine.cache import CacheStats, FactorizationCache
+from repro.engine.context import ExecutionContext
+
+__all__ = ["CacheStats", "FactorizationCache", "ExecutionContext"]

@@ -8,14 +8,23 @@ test-set AUC.  Report mean ± std per (method, c) — Figure 3.
 :func:`run_contamination_experiment` implements exactly that for any
 labelled MFD data set and any list of methods; it powers the Fig. 3
 bench, the ablation benches and the integration tests.
+
+The harness runs on the shared execution engine (:mod:`repro.engine`):
+method preparation shares one factorization cache, and the
+(level, repetition) cells fan out across a process pool when
+``n_jobs > 1``.  Each cell consumes only its own child seed stream, so
+parallel results are bit-identical to the serial schedule.
 """
 
 from __future__ import annotations
 
+import inspect
 from typing import Sequence
 
 import numpy as np
 
+from repro.engine import ExecutionContext
+from repro.engine.context import _resolve_n_jobs
 from repro.evaluation.metrics import roc_auc
 from repro.evaluation.results import ResultTable
 from repro.evaluation.splits import contaminated_split
@@ -28,6 +37,81 @@ __all__ = ["run_contamination_experiment"]
 
 PAPER_CONTAMINATION_LEVELS = (0.05, 0.10, 0.15, 0.20, 0.25)
 
+#: How many times a degenerate (single-class test set) split is redrawn
+#: before the harness gives up with a ValidationError.
+MAX_SPLIT_RETRIES = 20
+
+
+def _draw_valid_split(labels, contamination, train_fraction, rng):
+    """Draw a split whose test set contains both classes (bounded retries).
+
+    A single redraw is not enough on small or badly imbalanced data
+    sets: every attempt can come up one-class.  Retry up to
+    :data:`MAX_SPLIT_RETRIES` times and fail loudly instead of letting
+    ``roc_auc`` crash on a one-class test set.
+    """
+    for _ in range(MAX_SPLIT_RETRIES):
+        split = contaminated_split(
+            labels, contamination, train_fraction=train_fraction, random_state=rng
+        )
+        test_labels = labels[split.test]
+        if test_labels.min() != test_labels.max():
+            return split, test_labels
+    raise ValidationError(
+        f"could not draw a test set containing both classes after "
+        f"{MAX_SPLIT_RETRIES} attempts (contamination={contamination}, "
+        f"train_fraction={train_fraction}); the data set is too small or "
+        "too imbalanced for this split configuration"
+    )
+
+
+#: Split-invariant state shared by every cell: installed once per worker
+#: (or once in-process for the serial path) by ``initializer`` instead of
+#: being pickled into all ``levels x repetitions`` payloads.
+_CELL_STATE: dict = {}
+
+
+def _set_cell_state(methods, prepared, labels, train_fraction) -> None:
+    _CELL_STATE.update(
+        methods=methods, prepared=prepared, labels=labels, train_fraction=train_fraction
+    )
+
+
+def _run_cell(payload):
+    """Evaluate every method on one (level, repetition) cell.
+
+    Module-level so it pickles for the process pool.  The cell's
+    generator drives the split draw and every method's ``fit_score``
+    sequentially — exactly the serial order — which makes the parallel
+    schedule bit-identical to ``n_jobs=1``.
+    """
+    contamination, repetition, rng = payload
+    labels = _CELL_STATE["labels"]
+    train_fraction = _CELL_STATE["train_fraction"]
+    split, test_labels = _draw_valid_split(labels, contamination, train_fraction, rng)
+    records = []
+    for method, state in zip(_CELL_STATE["methods"], _CELL_STATE["prepared"]):
+        scores = method.fit_score(state, split.train, split.test, random_state=rng)
+        records.append((method.name, contamination, repetition, roc_auc(scores, test_labels)))
+    return records
+
+
+def _prepare_method(method, data, random_state, context):
+    """Call ``method.prepare``, passing the context only if accepted.
+
+    Decided by signature inspection, not try/except: a ``TypeError``
+    raised *inside* a context-aware ``prepare`` must propagate rather
+    than silently re-running the expensive preparation without the
+    shared cache.
+    """
+    params = inspect.signature(method.prepare).parameters
+    accepts_context = "context" in params or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
+    if accepts_context:
+        return method.prepare(data, random_state=random_state, context=context)
+    return method.prepare(data, random_state=random_state)
+
 
 def run_contamination_experiment(
     data,
@@ -38,6 +122,8 @@ def run_contamination_experiment(
     train_fraction: float = 0.5,
     random_state=None,
     verbose: bool = False,
+    n_jobs: int | None = None,
+    context: ExecutionContext | None = None,
 ) -> ResultTable:
     """Run the paper's AUC-vs-contamination protocol.
 
@@ -58,9 +144,17 @@ def run_contamination_experiment(
         Fraction of inliers used for training in each split.
     random_state:
         Master seed; every (level, repetition) gets an independent child
-        stream, so results are invariant to method order.
+        stream, so results are invariant to method order *and* to the
+        parallel schedule.
     verbose:
         Print one line per (level, repetition) pair.
+    n_jobs:
+        Parallel width for the (level, repetition) fan-out: 1 = serial,
+        ``-1`` = one worker per core, ``None`` = the context's width.
+        Results are bit-identical for every value.
+    context:
+        Shared :class:`~repro.engine.ExecutionContext` (cache + pool).
+        A private one is created when omitted.
 
     Returns
     -------
@@ -80,38 +174,44 @@ def run_contamination_experiment(
     levels = [float(c) for c in contamination_levels]
     if not levels:
         raise ValidationError("need at least one contamination level")
+    if context is not None and not isinstance(context, ExecutionContext):
+        raise ValidationError(
+            f"context must be an ExecutionContext, got {type(context).__name__}"
+        )
+    ctx = context if context is not None else ExecutionContext()
+    if n_jobs is not None:
+        n_jobs = _resolve_n_jobs(n_jobs)  # fail fast, before the prepare stage
 
     master = check_random_state(random_state)
     prep_states = spawn_random_states(master, len(methods))
     prepared = [
-        method.prepare(data, random_state=prep_states[i])
+        _prepare_method(method, data, prep_states[i], ctx)
         for i, method in enumerate(methods)
     ]
 
-    table = ResultTable()
     rep_states = spawn_random_states(master, len(levels) * n_repetitions)
-    for level_idx, c in enumerate(levels):
-        for rep in range(n_repetitions):
-            rng = rep_states[level_idx * n_repetitions + rep]
-            split = contaminated_split(
-                labels, c, train_fraction=train_fraction, random_state=rng
-            )
-            test_labels = labels[split.test]
-            if test_labels.min() == test_labels.max():
-                # Degenerate split (single-class test set); redraw once.
-                split = contaminated_split(
-                    labels, c, train_fraction=train_fraction, random_state=rng
-                )
-                test_labels = labels[split.test]
-            for method, state in zip(methods, prepared):
-                scores = method.fit_score(
-                    state, split.train, split.test, random_state=rng
-                )
-                auc = roc_auc(scores, test_labels)
-                table.add(method.name, c, rep, auc)
-            if verbose:
-                latest = ", ".join(
-                    f"{m.name}={table.values(m.name, c)[-1]:.3f}" for m in methods
-                )
-                print(f"[c={c:.2f} rep={rep + 1}/{n_repetitions}] {latest}")
+    payloads = [
+        (c, rep, rep_states[level_idx * n_repetitions + rep])
+        for level_idx, c in enumerate(levels)
+        for rep in range(n_repetitions)
+    ]
+
+    table = ResultTable()
+    # imap streams completed cells in order, so verbose progress prints as
+    # the experiment runs; the bulky split-invariant state travels once per
+    # worker via the initializer, not once per cell.
+    cell_records = ctx.imap(
+        _run_cell,
+        payloads,
+        n_jobs=n_jobs,
+        initializer=_set_cell_state,
+        initargs=(methods, prepared, labels, train_fraction),
+    )
+    for records in cell_records:
+        for method_name, c, rep, auc in records:
+            table.add(method_name, c, rep, auc)
+        if verbose:
+            latest = ", ".join(f"{name}={auc:.3f}" for name, _, _, auc in records)
+            c, rep = records[0][1], records[0][2]
+            print(f"[c={c:.2f} rep={rep + 1}/{n_repetitions}] {latest}")
     return table

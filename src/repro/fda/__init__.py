@@ -24,6 +24,7 @@ from repro.fda.quadrature import (
     trapezoid_weights,
 )
 from repro.fda.selection import (
+    FittedSelection,
     SelectionResult,
     gcv_score,
     loocv_score,
@@ -38,6 +39,7 @@ __all__ = [
     "BasisSmoother",
     "BSplineBasis",
     "FDataGrid",
+    "FittedSelection",
     "FourierBasis",
     "IrregularFData",
     "LegendreBasis",

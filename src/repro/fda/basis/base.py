@@ -42,6 +42,25 @@ class Basis(abc.ABC):
     def _evaluate(self, points: np.ndarray, derivative: int) -> np.ndarray:
         """Return the (n_points, n_basis) design matrix of ``D^q phi_l``."""
 
+    def _cache_key_extras(self) -> tuple:
+        """Subclass hook: extra hashables that pin down the basis functions.
+
+        The default covers bases fully determined by ``(type, domain,
+        n_basis)``; bases with further shape parameters (e.g. B-spline
+        order and knots) must extend it.
+        """
+        return ()
+
+    @property
+    def cache_key(self) -> tuple:
+        """Hashable identity of the basis *functions* (not the instance).
+
+        Two basis objects with equal keys evaluate to bit-identical
+        design matrices, so engine caches may share artifacts between
+        them (:class:`repro.engine.FactorizationCache`).
+        """
+        return (type(self).__name__, self.domain, self.n_basis, *self._cache_key_extras())
+
     @property
     def max_derivative(self) -> int:
         """Highest derivative order this basis can evaluate (inf-like default)."""

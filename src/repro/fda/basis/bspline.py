@@ -82,6 +82,9 @@ class BSplineBasis(Basis):
         )
 
     # ------------------------------------------------------------------ info
+    def _cache_key_extras(self) -> tuple:
+        return (self.order, self._interior.tobytes())
+
     @property
     def degree(self) -> int:
         """Polynomial degree of the spline pieces (``order - 1``)."""

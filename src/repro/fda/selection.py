@@ -21,7 +21,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.exceptions import ValidationError
-from repro.fda.fdata import FDataGrid
+from repro.fda.fdata import BasisFData, FDataGrid
 from repro.fda.smoothing import BasisSmoother
 from repro.utils.validation import as_float_array, check_grid
 
@@ -29,6 +29,7 @@ __all__ = [
     "loocv_score",
     "gcv_score",
     "SelectionResult",
+    "FittedSelection",
     "select_n_basis",
     "select_smoothing",
 ]
@@ -83,13 +84,33 @@ class SelectionResult:
             raise ValidationError("SelectionResult needs at least one candidate score")
 
 
+@dataclass(frozen=True)
+class FittedSelection:
+    """A model-selection sweep that also carries the fitted winner.
+
+    The batched selection path (``select_n_basis(..., return_fitted=True)``)
+    scores every candidate against cached factorizations and then fits
+    the winning smoother with one extra back-substitution — so callers
+    (the pipeline, the method registry) never refit from scratch.
+    """
+
+    best: float | int
+    scores: dict
+    smoother: BasisSmoother
+    fit: BasisFData
+
+    def __post_init__(self):
+        if not self.scores:
+            raise ValidationError("FittedSelection needs at least one candidate score")
+
+
 def _sweep(
     candidates: Sequence,
     make_smoother: Callable[[object], BasisSmoother],
     points,
     values,
     criterion: str,
-) -> SelectionResult:
+) -> tuple[dict, dict]:
     if criterion == "loocv":
         scorer = loocv_score
     elif criterion == "gcv":
@@ -99,11 +120,12 @@ def _sweep(
     if len(candidates) == 0:
         raise ValidationError("no candidates supplied")
     scores = {}
+    smoothers = {}
     for candidate in candidates:
         smoother = make_smoother(candidate)
+        smoothers[candidate] = smoother
         scores[candidate] = scorer(smoother, points, values)
-    best = min(scores, key=scores.get)
-    return SelectionResult(best=best, scores=scores)
+    return scores, smoothers
 
 
 def select_n_basis(
@@ -113,7 +135,9 @@ def select_n_basis(
     smoothing: float = 0.0,
     penalty_order: int = 2,
     criterion: str = "loocv",
-) -> SelectionResult:
+    cache=None,
+    return_fitted: bool = False,
+) -> SelectionResult | FittedSelection:
     """Choose the basis size by (leave-one-out) cross-validation.
 
     Parameters
@@ -128,13 +152,30 @@ def select_n_basis(
         Passed through to the smoother for each candidate.
     criterion:
         ``"loocv"`` (paper's choice) or ``"gcv"``.
+    cache:
+        Optional shared :class:`~repro.engine.FactorizationCache`; each
+        candidate's design matrix and normal-equation factorization are
+        then computed at most once across the sweep, the winner's fit
+        and any later pipeline work on the same configuration.
+    return_fitted:
+        When true, return a :class:`FittedSelection` carrying the
+        winning smoother *already fitted* to ``data`` (batched path:
+        the fit reuses the sweep's cached factorization, so it costs
+        one back-substitution instead of a refit).
     """
 
     def make(n_basis):
         basis = basis_factory(data.domain, int(n_basis))
-        return BasisSmoother(basis, smoothing=smoothing, penalty_order=penalty_order)
+        return BasisSmoother(
+            basis, smoothing=smoothing, penalty_order=penalty_order, cache=cache
+        )
 
-    return _sweep(list(candidates), make, data.grid, data.values, criterion)
+    scores, smoothers = _sweep(list(candidates), make, data.grid, data.values, criterion)
+    best = min(scores, key=scores.get)
+    if not return_fitted:
+        return SelectionResult(best=best, scores=scores)
+    winner = smoothers[best]
+    return FittedSelection(best=best, scores=scores, smoother=winner, fit=winner.fit_grid(data))
 
 
 def select_smoothing(
@@ -143,10 +184,15 @@ def select_smoothing(
     candidates: Sequence[float],
     penalty_order: int = 2,
     criterion: str = "gcv",
+    cache=None,
 ) -> SelectionResult:
     """Choose the smoothing weight ``lambda`` by cross-validation."""
 
     def make(lam):
-        return BasisSmoother(basis, smoothing=float(lam), penalty_order=penalty_order)
+        return BasisSmoother(
+            basis, smoothing=float(lam), penalty_order=penalty_order, cache=cache
+        )
 
-    return _sweep(list(candidates), make, data.grid, data.values, criterion)
+    scores, _ = _sweep(list(candidates), make, data.grid, data.values, criterion)
+    best = min(scores, key=scores.get)
+    return SelectionResult(best=best, scores=scores)

@@ -18,11 +18,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import NotFittedError, ValidationError
+from repro.exceptions import ValidationError
 from repro.fda.basis.base import Basis
 from repro.fda.fdata import BasisFData, FDataGrid, IrregularFData, MFDataGrid, MultivariateBasisFData
-from repro.fda.penalty import penalty_matrix
-from repro.utils.linalg import solve_psd
 from repro.utils.validation import as_float_array, check_grid, check_int, check_positive
 
 __all__ = ["BasisSmoother", "smooth_mfd"]
@@ -41,32 +39,45 @@ class BasisSmoother:
     penalty_order:
         Derivative order ``q`` in the roughness penalty; the paper
         recommends 1 (velocity) or 2 (acceleration, default).
+    cache:
+        A shared :class:`~repro.engine.FactorizationCache`.  When
+        omitted, the smoother uses a private cache, so repeated fits on
+        the same grid still pay for one factorization only.  Passing
+        the cache of an :class:`~repro.engine.ExecutionContext` shares
+        artifacts across smoothers, the LOO-CV sweep and the pipeline.
     """
 
-    def __init__(self, basis: Basis, smoothing: float = 0.0, penalty_order: int = 2):
+    def __init__(
+        self,
+        basis: Basis,
+        smoothing: float = 0.0,
+        penalty_order: int = 2,
+        cache=None,
+    ):
         if not isinstance(basis, Basis):
             raise ValidationError(f"basis must be a Basis instance, got {type(basis).__name__}")
+        from repro.engine.cache import FactorizationCache
+
+        if cache is not None and not isinstance(cache, FactorizationCache):
+            raise ValidationError(
+                f"cache must be a FactorizationCache, got {type(cache).__name__}"
+            )
         self.basis = basis
         self.smoothing = check_positive(smoothing, "smoothing", strict=False)
         self.penalty_order = check_int(penalty_order, "penalty_order", minimum=0)
-        self._penalty: np.ndarray | None = None
+        self.cache = cache if cache is not None else FactorizationCache()
 
     # ---------------------------------------------------------------- internals
     @property
     def penalty(self) -> np.ndarray:
-        """The roughness penalty matrix ``R`` (computed lazily, cached)."""
-        if self._penalty is None:
-            if self.smoothing > 0:
-                self._penalty = penalty_matrix(self.basis, derivative=self.penalty_order)
-            else:
-                self._penalty = np.zeros((self.basis.n_basis, self.basis.n_basis))
-        return self._penalty
-
-    def _normal_matrix(self, design: np.ndarray) -> np.ndarray:
-        normal = design.T @ design
+        """The roughness penalty matrix ``R`` (cached in the engine cache)."""
         if self.smoothing > 0:
-            normal = normal + self.smoothing * self.penalty
-        return normal
+            return self.cache.penalty(self.basis, self.penalty_order)
+        return np.zeros((self.basis.n_basis, self.basis.n_basis))
+
+    def _solver(self, points: np.ndarray):
+        """Cached factorization of the normal equations on ``points``."""
+        return self.cache.solver(self.basis, points, self.smoothing, self.penalty_order)
 
     # ---------------------------------------------------------------- fitting
     def fit_sample(self, points, values) -> np.ndarray:
@@ -82,14 +93,14 @@ class BasisSmoother:
                 f"unpenalized fit needs at least n_basis={self.basis.n_basis} points, "
                 f"got {points.shape[0]} (set smoothing > 0 to regularize)"
             )
-        design = self.basis.evaluate(points)
-        return solve_psd(self._normal_matrix(design), design.T @ values)
+        design = self.cache.design(self.basis, points)
+        return self._solver(points).solve(design.T @ values)
 
     def fit_grid(self, data: FDataGrid) -> BasisFData:
-        """Fit all curves sharing a common grid (single factorization)."""
-        design = self.basis.evaluate(data.grid)
+        """Fit all curves sharing a common grid (single cached factorization)."""
+        design = self.cache.design(self.basis, data.grid)
         rhs = design.T @ data.values.T  # (L, n)
-        coeffs = solve_psd(self._normal_matrix(design), rhs)
+        coeffs = self._solver(data.grid).solve(rhs)
         return BasisFData(self.basis, coeffs.T)
 
     def fit_irregular(self, data: IrregularFData) -> BasisFData:
@@ -114,9 +125,7 @@ class BasisSmoother:
     def hat_matrix(self, points) -> np.ndarray:
         """Hat (smoother) matrix ``S`` mapping observations to fitted values."""
         points = check_grid(points, "points")
-        design = self.basis.evaluate(points)
-        inner = solve_psd(self._normal_matrix(design), design.T)
-        return design @ inner
+        return self.cache.hat(self.basis, points, self.smoothing, self.penalty_order)
 
     def effective_df(self, points) -> float:
         """Effective degrees of freedom ``trace(S)`` of the smoother."""
@@ -141,6 +150,7 @@ def smooth_mfd(
     basis_factory,
     smoothing: float | list[float] = 0.0,
     penalty_order: int = 2,
+    cache=None,
 ) -> _FittedMFDSmoother:
     """Smooth every parameter of an MFD data set.
 
@@ -155,6 +165,9 @@ def smooth_mfd(
         A single ``lambda`` or one per parameter.
     penalty_order:
         Roughness penalty order shared by all parameters.
+    cache:
+        Optional shared :class:`~repro.engine.FactorizationCache`
+        threaded into every per-parameter smoother.
 
     Returns
     -------
@@ -174,7 +187,9 @@ def smooth_mfd(
     smoothers = []
     for k in range(p):
         basis = factories[k](data.domain)
-        smoother = BasisSmoother(basis, smoothing=lams[k], penalty_order=penalty_order)
+        smoother = BasisSmoother(
+            basis, smoothing=lams[k], penalty_order=penalty_order, cache=cache
+        )
         components.append(smoother.fit_grid(data.parameter(k)))
         smoothers.append(smoother)
     return _FittedMFDSmoother(MultivariateBasisFData(components), smoothers)

@@ -7,7 +7,7 @@ from scipy import linalg as sla
 
 from repro.exceptions import ValidationError
 
-__all__ = ["solve_psd", "symmetrize", "safe_inverse_sqrt", "pairwise_sq_dists"]
+__all__ = ["PSDSolver", "solve_psd", "symmetrize", "safe_inverse_sqrt", "pairwise_sq_dists"]
 
 
 def symmetrize(matrix: np.ndarray) -> np.ndarray:
@@ -16,6 +16,42 @@ def symmetrize(matrix: np.ndarray) -> np.ndarray:
     if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
         raise ValidationError(f"matrix must be square, got shape {matrix.shape}")
     return 0.5 * (matrix + matrix.T)
+
+
+class PSDSolver:
+    """Reusable factorization of a (nearly) positive semi-definite matrix.
+
+    Performs the robust factorization of :func:`solve_psd` exactly once
+    — Cholesky with a geometrically escalating diagonal ridge, pseudo-
+    inverse as the last resort — and then solves any number of
+    right-hand sides by cheap triangular back-substitution.  The engine
+    cache (:mod:`repro.engine`) memoizes these objects so the smoothing
+    stack pays for each normal-equation factorization at most once.
+    """
+
+    def __init__(self, matrix: np.ndarray, jitter: float = 1e-10):
+        matrix = symmetrize(matrix)
+        self.n = matrix.shape[0]
+        scale = max(np.trace(matrix) / matrix.shape[0], 1.0)
+        bump = jitter * scale
+        self._chol = None
+        self._pinv = None
+        for _ in range(8):
+            try:
+                self._chol = sla.cho_factor(matrix, lower=True, check_finite=False)
+                break
+            except sla.LinAlgError:
+                matrix = matrix + bump * np.eye(matrix.shape[0])
+                bump *= 10.0
+        else:
+            self._pinv = np.linalg.pinv(matrix)
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``matrix @ x = rhs`` using the stored factorization."""
+        rhs = np.asarray(rhs, dtype=np.float64)
+        if self._chol is not None:
+            return sla.cho_solve(self._chol, rhs, check_finite=False)
+        return self._pinv @ rhs
 
 
 def solve_psd(matrix: np.ndarray, rhs: np.ndarray, jitter: float = 1e-10) -> np.ndarray:
@@ -28,18 +64,7 @@ def solve_psd(matrix: np.ndarray, rhs: np.ndarray, jitter: float = 1e-10) -> np.
     penalty matrix is singular (e.g. roughness penalties annihilate
     polynomials of low degree).
     """
-    matrix = symmetrize(matrix)
-    rhs = np.asarray(rhs, dtype=np.float64)
-    scale = max(np.trace(matrix) / matrix.shape[0], 1.0)
-    bump = jitter * scale
-    for _ in range(8):
-        try:
-            chol = sla.cho_factor(matrix, lower=True, check_finite=False)
-            return sla.cho_solve(chol, rhs, check_finite=False)
-        except sla.LinAlgError:
-            matrix = matrix + bump * np.eye(matrix.shape[0])
-            bump *= 10.0
-    return np.linalg.pinv(matrix) @ rhs
+    return PSDSolver(matrix, jitter=jitter).solve(rhs)
 
 
 def safe_inverse_sqrt(values: np.ndarray, floor: float = 1e-12) -> np.ndarray:

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.depth.functional import (
+    _modified_band_depth_pairwise,
     aggregate_depth,
     functional_depth,
     modified_band_depth,
@@ -139,3 +140,25 @@ class TestModifiedBandDepth:
         new = FDataGrid(np.full((1, 20), 4.2), band_curves.grid)
         depth = modified_band_depth(new, reference=band_curves)
         assert 0.0 < depth[0] <= 1.0
+
+    def test_rank_count_matches_pairwise(self, rng):
+        """The vectorized rank-count identity equals the explicit pair loop."""
+        grid = np.linspace(0, 1, 17)
+        data = FDataGrid(rng.standard_normal((12, 17)), grid)
+        np.testing.assert_allclose(
+            modified_band_depth(data),
+            _modified_band_depth_pairwise(data),
+            rtol=0, atol=1e-12,
+        )
+
+    def test_rank_count_matches_pairwise_with_ties_and_reference(self, rng):
+        grid = np.linspace(0, 1, 9)
+        # Quantized values force ties, the regime where strict/non-strict
+        # inequalities in the identity must line up exactly.
+        ref = FDataGrid(np.round(rng.standard_normal((15, 9)) * 2) / 2, grid)
+        new = FDataGrid(np.round(rng.standard_normal((6, 9)) * 2) / 2, grid)
+        np.testing.assert_allclose(
+            modified_band_depth(new, reference=ref),
+            _modified_band_depth_pairwise(new, reference=ref),
+            rtol=0, atol=1e-12,
+        )
