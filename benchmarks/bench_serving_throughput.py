@@ -1,0 +1,124 @@
+"""Serving-throughput bench: cache-backed batch scoring vs naive scoring.
+
+Measures the inference path added by :mod:`repro.serving` on simulated
+traffic — many small curve batches arriving on one known measurement
+grid.  Three regimes over the same traffic:
+
+* **naive** — refit-free scoring *without* cross-batch cache reuse: the
+  factorization cache is dropped before every batch, so each batch
+  rebuilds the design matrix, the roughness penalty and the Cholesky
+  factor (what per-request scoring costs without a serving layer);
+* **cached** — one :class:`~repro.serving.ScoringService` context kept
+  across batches: after the first batch, scoring skips refactorization
+  entirely (asserted on the cache counters, not just timed);
+* **micro-batched** — the service's submit/flush queue on top of the
+  shared cache, amortizing per-batch fixed costs across requests.
+
+Set ``REPRO_BENCH_QUICK=1`` to shrink the workload for CI smoke runs.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.pipeline import GeometricOutlierPipeline
+from repro.data import make_taxonomy_dataset
+from repro.detectors import IsolationForest
+from repro.fda.fdata import MFDataGrid
+from repro.serving import ScoringService, save_pipeline
+
+from benchmarks.conftest import print_table
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
+
+N_BATCHES = 40 if QUICK else 200
+BATCH_CURVES = 5 if QUICK else 10
+
+
+def _traffic(tmp_path):
+    """Fit + persist a pipeline; synthesize batches on the training grid."""
+    train, _ = make_taxonomy_dataset(
+        "correlation", n_inliers=60, n_outliers=6, random_state=0
+    )
+    pipeline = GeometricOutlierPipeline(
+        IsolationForest(n_estimators=100, random_state=0), n_basis=15
+    )
+    pipeline.fit(train)
+    model_dir = tmp_path / "model"
+    save_pipeline(pipeline, model_dir)
+    rng = np.random.default_rng(1)
+    batches = []
+    for _ in range(N_BATCHES):
+        base = train.values[rng.integers(0, train.n_samples, size=BATCH_CURVES)]
+        batches.append(
+            MFDataGrid(base + 0.02 * rng.standard_normal(base.shape), train.grid)
+        )
+    return model_dir, batches
+
+
+def test_serving_throughput(tmp_path):
+    model_dir, batches = _traffic(tmp_path)
+    n_curves = sum(b.n_samples for b in batches)
+
+    # Naive: same pipeline, but no artifact survives between batches.
+    naive = ScoringService()
+    naive.load("m", model_dir)
+    start = time.perf_counter()
+    naive_scores = []
+    for batch in batches:
+        naive.context.cache.clear()
+        naive_scores.append(naive.score("m", batch))
+    naive_time = time.perf_counter() - start
+    naive_factorizations = N_BATCHES  # one per cleared-cache batch, by construction
+
+    # Cached: one serving context across the whole traffic.
+    cached = ScoringService()
+    cached.load("m", model_dir)
+    warm_start_stats = None
+    start = time.perf_counter()
+    cached_scores = []
+    for i, batch in enumerate(batches):
+        cached_scores.append(cached.score("m", batch))
+        if i == 0:
+            warm_start_stats = cached.context.cache.stats.copy()
+    cached_time = time.perf_counter() - start
+    warm_delta = cached.context.cache.stats - warm_start_stats
+    # The serving claim, on counters: known grid => zero refactorization.
+    assert warm_delta.factorizations == 0
+    assert warm_delta.design_builds == 0
+    assert warm_delta.factorization_hits >= N_BATCHES - 1
+
+    # Micro-batched: submit everything, flush once.
+    micro = ScoringService(max_pending=10 * n_curves)
+    micro.load("m", model_dir)
+    start = time.perf_counter()
+    tickets = [micro.submit("m", batch) for batch in batches]
+    micro.flush()
+    micro_time = time.perf_counter() - start
+    micro_scores = np.concatenate([t.result() for t in tickets])
+
+    # All three regimes score identically.
+    flat_naive = np.concatenate(naive_scores)
+    flat_cached = np.concatenate(cached_scores)
+    np.testing.assert_allclose(flat_cached, flat_naive, atol=1e-12)
+    np.testing.assert_allclose(micro_scores, flat_naive, atol=1e-12)
+
+    rows = [
+        ["naive (no cache reuse)", f"{naive_time:.3f}",
+         f"{n_curves / naive_time:,.0f}", str(naive_factorizations)],
+        ["cached (shared context)", f"{cached_time:.3f}",
+         f"{n_curves / cached_time:,.0f}", "1"],
+        ["micro-batched", f"{micro_time:.3f}",
+         f"{n_curves / micro_time:,.0f}", "1"],
+    ]
+    print_table(
+        f"Serving throughput — {N_BATCHES} batches x {BATCH_CURVES} curves",
+        ["regime", "seconds", "curves/sec", "factorizations"],
+        rows,
+    )
+    # The headline: cache reuse beats per-batch refactorization.
+    assert cached_time < naive_time, (
+        f"cached scoring ({cached_time:.3f}s) should beat naive "
+        f"({naive_time:.3f}s)"
+    )

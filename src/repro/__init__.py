@@ -24,6 +24,7 @@ Subpackages
 ``repro.evaluation`` ROC/AUC, contaminated splits, experiment harness
 ``repro.core``       the paper's pipeline and the Figure-3 methods
 ``repro.engine``     shared execution engine (factorization cache, parallel fan-out)
+``repro.serving``    pipeline persistence + batched scoring service
 """
 
 from repro.core import (

@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate every figure of the paper.
+"""Command-line interface: regenerate figures, serve saved pipelines.
 
 Usage::
 
@@ -7,10 +7,18 @@ Usage::
     python -m repro fig3 --reps 50 --n-jobs 4
     python -m repro taxonomy
     python -m repro all --reps 15
+    python -m repro serve-score --pipeline model_dir --data batch.npz
 
-Each subcommand prints the same rows/series as the corresponding bench
-in ``benchmarks/`` (the benches additionally assert the expected shape
-and time the computation).
+Each figure subcommand prints the same rows/series as the corresponding
+bench in ``benchmarks/`` (the benches additionally assert the expected
+shape and time the computation).  ``serve-score`` is the inference
+entry point: it loads a pipeline persisted by
+:func:`repro.serving.save_pipeline` and scores a curve batch stored as
+an ``.npz`` with ``values`` (n, m) or (n, m, p) and ``grid`` (m,)
+arrays, streaming in bounded-memory chunks.
+
+``main`` returns 0 on success and 2 on operational errors (missing or
+corrupt files, invalid data), printing the reason to stderr.
 """
 
 from __future__ import annotations
@@ -128,6 +136,58 @@ def run_taxonomy(args) -> None:
     )
 
 
+def _load_batch_npz(path):
+    """Read a curve batch (``values`` + ``grid`` arrays) from an ``.npz``."""
+    from repro.exceptions import PersistenceError
+    from repro.fda.fdata import MFDataGrid
+    from zipfile import BadZipFile
+
+    try:
+        with np.load(path, allow_pickle=False) as bundle:
+            missing = {"values", "grid"} - set(bundle.files)
+            if missing:
+                raise PersistenceError(
+                    f"data file {path} is missing arrays: {sorted(missing)}"
+                )
+            values = bundle["values"]
+            grid = bundle["grid"]
+    except (OSError, ValueError, BadZipFile) as exc:
+        raise PersistenceError(f"cannot read data file {path}: {exc}") from exc
+    if values.ndim == 2:
+        values = values[:, :, None]
+    if values.shape[0] == 0:
+        raise PersistenceError(f"data file {path} contains no curves")
+    return MFDataGrid(values, grid)
+
+
+def run_serve_score(args) -> None:
+    """serve-score: stream a persisted pipeline over an ``.npz`` curve batch."""
+    from repro.serving import load_pipeline, score_stream
+
+    pipeline = load_pipeline(args.pipeline)
+    data = _load_batch_npz(args.data)
+    chunks = []
+    for chunk in score_stream(pipeline, data, chunk_size=args.chunk_size):
+        chunks.append(chunk)
+    scores = np.concatenate(chunks)
+    if args.output:
+        np.savez_compressed(args.output, scores=scores)
+    top = np.argsort(-scores)[: min(5, scores.shape[0])]
+    _print_table(
+        "serve-score",
+        ["quantity", "value"],
+        [
+            ["pipeline", str(args.pipeline)],
+            ["curves scored", str(scores.shape[0])],
+            ["chunks", str(len(chunks))],
+            ["score min/mean/max",
+             f"{scores.min():.4f} / {scores.mean():.4f} / {scores.max():.4f}"],
+            ["top outlier indices", " ".join(str(i) for i in top)],
+            ["output", str(args.output) if args.output else "(stdout only)"],
+        ],
+    )
+
+
 COMMANDS = {
     "fig1": run_fig1,
     "fig2": run_fig2,
@@ -139,28 +199,54 @@ COMMANDS = {
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Regenerate the figures of Lejeune et al., EDBT 2020.",
+        description="Regenerate the figures of Lejeune et al., EDBT 2020, "
+                    "and serve persisted pipelines.",
     )
-    parser.add_argument("command", choices=list(COMMANDS) + ["all"])
-    parser.add_argument("--reps", type=int, default=15,
-                        help="repetitions per contamination level (fig3; paper: 50)")
-    parser.add_argument("--seed", type=int, default=7, help="master random seed")
-    parser.add_argument("--n-jobs", type=int, default=1,
-                        help="parallel workers for the repetition fan-out "
-                             "(fig3; -1 = one per core; results are identical "
-                             "to the serial run)")
-    parser.add_argument("--verbose", action="store_true",
-                        help="print per-repetition progress (fig3)")
+    figure_options = argparse.ArgumentParser(add_help=False)
+    figure_options.add_argument(
+        "--reps", type=int, default=15,
+        help="repetitions per contamination level (fig3; paper: 50)")
+    figure_options.add_argument("--seed", type=int, default=7, help="master random seed")
+    figure_options.add_argument(
+        "--n-jobs", type=int, default=1,
+        help="parallel workers for the repetition fan-out "
+             "(fig3; -1 = one per core; results are identical "
+             "to the serial run)")
+    figure_options.add_argument("--verbose", action="store_true",
+                                help="print per-repetition progress (fig3)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name in (*COMMANDS, "all"):
+        subparsers.add_parser(name, parents=[figure_options],
+                              help=f"regenerate {name}" if name != "all"
+                              else "regenerate every figure")
+    serve = subparsers.add_parser(
+        "serve-score", help="score a curve batch with a persisted pipeline")
+    serve.add_argument("--pipeline", required=True,
+                       help="directory written by repro.serving.save_pipeline")
+    serve.add_argument("--data", required=True,
+                       help=".npz with 'values' (n, m[, p]) and 'grid' (m,) arrays")
+    serve.add_argument("--chunk-size", type=int, default=256,
+                       help="curves per streamed scoring chunk (bounds memory)")
+    serve.add_argument("--output", default=None,
+                       help="optional .npz path for the scores")
     return parser
 
 
 def main(argv=None) -> int:
+    from repro.exceptions import ReproError
+
     args = build_parser().parse_args(argv)
-    if args.command == "all":
-        for name in COMMANDS:
-            COMMANDS[name](args)
-    else:
-        COMMANDS[args.command](args)
+    try:
+        if args.command == "all":
+            for name in COMMANDS:
+                COMMANDS[name](args)
+        elif args.command == "serve-score":
+            run_serve_score(args)
+        else:
+            COMMANDS[args.command](args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

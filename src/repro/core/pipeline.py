@@ -244,3 +244,83 @@ class GeometricOutlierPipeline:
     def fit_score(self, train, test) -> np.ndarray:
         """Convenience: fit on ``train`` and score ``test``."""
         return self.fit(train).score_samples(test)
+
+    # ------------------------------------------------------------------ state
+    def export_fitted_state(self) -> dict:
+        """Everything a fresh process needs to score new batches.
+
+        Returns a nested dict of JSON-able scalars and NumPy arrays (no
+        pickled code): the per-parameter smoother configs, the selected
+        basis sizes, the evaluation grid, the mapping config and the
+        fitted detector state.  :meth:`from_fitted_state` inverts it with
+        bit-identical scoring; :func:`repro.serving.save_pipeline` writes
+        it to disk as ``.npz`` + JSON manifest.
+        """
+        if not self._fitted or self.smoothers_ is None:
+            raise NotFittedError("pipeline is not fitted")
+        return {
+            "config": {
+                "smoothing": float(self.smoothing),
+                "penalty_order": int(self.penalty_order),
+                "spline_order": int(self.spline_order),
+            },
+            "selected_n_basis": [int(v) for v in (self.selected_n_basis_ or [])],
+            "smoothers": [smoother.to_config() for smoother in self.smoothers_],
+            "eval_grid": self.eval_grid_.copy(),
+            "mapping": self.mapping.to_config(),
+            "detector": self.detector.export_state(),
+        }
+
+    def inject_fitted_state(self, state: dict) -> None:
+        """Install exported smoothing state, marking the pipeline fitted.
+
+        Restored smoothers attach to this pipeline's context cache, so
+        scoring new curves on a grid the cache has seen skips design
+        building and refactorization entirely.  The detector is restored
+        separately (see :meth:`from_fitted_state`).
+        """
+        if "eval_grid" not in state:
+            raise ValidationError("fitted state has no 'eval_grid'")
+        smoother_configs = state.get("smoothers")
+        if not smoother_configs:
+            raise ValidationError("fitted state has no smoother configs")
+        self.smoothers_ = [
+            BasisSmoother.from_config(cfg, cache=self.context.cache)
+            for cfg in smoother_configs
+        ]
+        self.selected_n_basis_ = [int(v) for v in state.get("selected_n_basis", [])]
+        self.eval_grid_ = np.asarray(state["eval_grid"], dtype=np.float64)
+        self._fitted = True
+
+    @classmethod
+    def from_fitted_state(
+        cls, state: dict, context: ExecutionContext | None = None
+    ) -> "GeometricOutlierPipeline":
+        """Rebuild a fitted pipeline from :meth:`export_fitted_state` output.
+
+        ``context`` optionally attaches the restored pipeline to a shared
+        serving context (cache + pool); a private context is created when
+        omitted.
+        """
+        from repro.detectors import detector_from_state
+        from repro.geometry.mappings import mapping_from_config
+
+        if not isinstance(state, dict):
+            raise ValidationError(
+                f"fitted state must be a dict, got {type(state).__name__}"
+            )
+        missing = [key for key in ("detector", "mapping", "smoothers", "eval_grid")
+                   if key not in state]
+        if missing:
+            raise ValidationError(f"fitted state is missing keys: {missing}")
+        config = state.get("config", {})
+        pipeline = cls(
+            detector=detector_from_state(state["detector"]),
+            mapping=mapping_from_config(state["mapping"]),
+            smoothing=float(config.get("smoothing", 1e-4)),
+            penalty_order=int(config.get("penalty_order", 2)),
+            spline_order=int(config.get("spline_order", 4)),
+            context=context,
+        )
+        pipeline.inject_fitted_state(state)
+        return pipeline

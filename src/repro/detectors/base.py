@@ -102,3 +102,77 @@ class OutlierDetector(abc.ABC):
     def fit_predict(self, X) -> np.ndarray:
         """Fit on ``X`` and label the same rows."""
         return self.fit(X).predict(X)
+
+    # ------------------------------------------------------------------ state
+    def _export_config(self) -> dict:
+        """JSON-able constructor kwargs that recreate this detector unfitted.
+
+        Subclasses extend the base dict with their own hyper-parameters;
+        every key must be accepted by ``__init__``.
+        """
+        return {"contamination": self.contamination}
+
+    def _export_fitted(self) -> dict:
+        """Subclass hook: the fitted model state as a flat dict.
+
+        Values must be NumPy arrays or JSON-able scalars — nothing that
+        would require pickling (no callables, no nested objects).  The
+        inverse is :meth:`_import_fitted`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state export"
+        )
+
+    def _import_fitted(self, state: dict) -> None:
+        """Subclass hook: install the dict produced by :meth:`_export_fitted`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state import"
+        )
+
+    def export_state(self) -> dict:
+        """Full state of a fitted detector as arrays + JSON-able scalars.
+
+        Returns ``{"type", "config", "threshold", "n_features", "fitted"}``
+        where ``fitted`` is the subclass's :meth:`_export_fitted` dict.
+        The result round-trips through :meth:`from_state` with
+        bit-identical scores and contains no pickled code, so it can be
+        written to ``.npz`` + JSON by :mod:`repro.serving.persist`.
+        """
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before exporting state"
+            )
+        return {
+            "type": type(self).__name__,
+            "config": self._export_config(),
+            "threshold": self.threshold_,
+            "n_features": self.n_features_,
+            "fitted": self._export_fitted(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OutlierDetector":
+        """Rebuild a fitted detector from :meth:`export_state` output.
+
+        Call on the concrete class named by ``state["type"]`` (or use
+        :func:`repro.detectors.detector_from_state`, which dispatches).
+        """
+        if not isinstance(state, dict) or "config" not in state or "fitted" not in state:
+            raise ValidationError(
+                f"detector state must be a dict with 'config' and 'fitted' keys, "
+                f"got {type(state).__name__}"
+            )
+        declared = state.get("type")
+        if declared is not None and declared != cls.__name__:
+            raise ValidationError(
+                f"state was exported from {declared!r} but is being restored "
+                f"as {cls.__name__!r}"
+            )
+        detector = cls(**state["config"])
+        detector._import_fitted(state["fitted"])
+        threshold = state.get("threshold")
+        detector.threshold_ = None if threshold is None else float(threshold)
+        n_features = state.get("n_features")
+        detector.n_features_ = None if n_features is None else int(n_features)
+        detector._fitted = True
+        return detector

@@ -108,6 +108,19 @@ class _IsolationTree:
         self.right[node] = self._build(X, right_rows, depth + 1, height_limit, rng)
         return node
 
+    @classmethod
+    def from_arrays(cls, feature, split, left, right, size, depth) -> "_IsolationTree":
+        """Rebuild a tree from its flat node arrays (state import path)."""
+        tree = cls.__new__(cls)
+        tree.feature = np.asarray(feature, dtype=np.int64)
+        tree.split = np.asarray(split, dtype=np.float64)
+        tree.left = np.asarray(left, dtype=np.int64)
+        tree.right = np.asarray(right, dtype=np.int64)
+        tree.size = np.asarray(size, dtype=np.int64)
+        tree.depth = np.asarray(depth, dtype=np.int64)
+        tree._n_nodes = tree.feature.shape[0]
+        return tree
+
     def path_length(self, X: np.ndarray) -> np.ndarray:
         """Adjusted path length ``h(x)`` for each row of ``X``."""
         n = X.shape[0]
@@ -182,3 +195,39 @@ class IsolationForest(OutlierDetector):
     def _natural_threshold(self) -> float:
         # Scores above 0.5 indicate shorter-than-random isolation paths.
         return 0.5
+
+    def _export_config(self) -> dict:
+        config = super()._export_config()
+        config["n_estimators"] = self.n_estimators
+        config["max_samples"] = self.max_samples
+        # Generators are not JSON-able; the seed only matters at fit time,
+        # and a restored forest is already grown, so persist it only when
+        # it is a plain int.
+        if isinstance(self.random_state, (int, np.integer)):
+            config["random_state"] = int(self.random_state)
+        return config
+
+    def _export_fitted(self) -> dict:
+        offsets = np.cumsum([0] + [t.feature.shape[0] for t in self._trees])
+        concat = lambda name: np.concatenate([getattr(t, name) for t in self._trees])
+        return {
+            "psi": self._psi,
+            "node_offsets": offsets.astype(np.int64),
+            "node_feature": concat("feature"),
+            "node_split": concat("split"),
+            "node_left": concat("left"),
+            "node_right": concat("right"),
+            "node_size": concat("size"),
+            "node_depth": concat("depth"),
+        }
+
+    def _import_fitted(self, state: dict) -> None:
+        offsets = np.asarray(state["node_offsets"], dtype=np.int64)
+        self._psi = int(state["psi"])
+        self._trees = [
+            _IsolationTree.from_arrays(
+                *(state[f"node_{name}"][offsets[i] : offsets[i + 1]]
+                  for name in ("feature", "split", "left", "right", "size", "depth"))
+            )
+            for i in range(offsets.shape[0] - 1)
+        ]

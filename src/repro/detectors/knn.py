@@ -69,3 +69,15 @@ class KNNDetector(OutlierDetector):
         if self.aggregation == "kth":
             return dists[:, -1]
         return dists.mean(axis=1)
+
+    def _export_config(self) -> dict:
+        config = super()._export_config()
+        config["n_neighbors"] = self.n_neighbors
+        config["aggregation"] = self.aggregation
+        return config
+
+    def _export_fitted(self) -> dict:
+        return {"train": self._train}
+
+    def _import_fitted(self, state: dict) -> None:
+        self._train = np.asarray(state["train"], dtype=np.float64)

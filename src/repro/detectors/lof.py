@@ -76,3 +76,22 @@ class LocalOutlierFactor(OutlierDetector):
         # LOF ~ 1 means "as dense as the neighbours"; the customary
         # decision boundary adds modest slack.
         return 1.5
+
+    def _export_config(self) -> dict:
+        config = super()._export_config()
+        config["n_neighbors"] = self.n_neighbors
+        return config
+
+    def _export_fitted(self) -> dict:
+        return {
+            "train": self._train,
+            "k_distance": self._k_distance,
+            "lrd": self._lrd,
+            "train_neighbors": self._train_neighbors,
+        }
+
+    def _import_fitted(self, state: dict) -> None:
+        self._train = np.asarray(state["train"], dtype=np.float64)
+        self._k_distance = np.asarray(state["k_distance"], dtype=np.float64)
+        self._lrd = np.asarray(state["lrd"], dtype=np.float64)
+        self._train_neighbors = np.asarray(state["train_neighbors"], dtype=np.int64)

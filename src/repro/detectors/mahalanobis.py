@@ -85,3 +85,17 @@ class MahalanobisDetector(OutlierDetector):
 
     def _score(self, X: np.ndarray) -> np.ndarray:
         return self._distances(X, self.location_, self.precision_)
+
+    def _export_config(self) -> dict:
+        config = super()._export_config()
+        config["trim"] = self.trim
+        config["n_refits"] = self.n_refits
+        config["shrinkage"] = self.shrinkage
+        return config
+
+    def _export_fitted(self) -> dict:
+        return {"location": self.location_, "precision": self.precision_}
+
+    def _import_fitted(self, state: dict) -> None:
+        self.location_ = np.asarray(state["location"], dtype=np.float64)
+        self.precision_ = np.asarray(state["precision"], dtype=np.float64)

@@ -199,6 +199,42 @@ class OneClassSVM(OutlierDetector):
         gram = self._kernel_fn(X, self.support_vectors_)
         return self.rho_ - gram @ self.dual_coef_
 
+    def _export_config(self) -> dict:
+        config = super()._export_config()
+        config.update(
+            nu=self.nu,
+            kernel=self.kernel,
+            gamma=self.gamma if isinstance(self.gamma, str) else float(self.gamma),
+            degree=self.degree,
+            coef0=self.coef0,
+            tol=self.tol,
+            max_iter=self.max_iter,
+        )
+        return config
+
+    def _export_fitted(self) -> dict:
+        return {
+            # The resolved numeric gamma, not the 'scale'/'auto' spec: the
+            # heuristics depend on the training matrix, which is not kept.
+            "gamma_value": float(self._gamma_value),
+            "rho": float(self.rho_),
+            "n_iter": int(self.n_iter_),
+            "alpha": self.alpha_,
+            "support": self.support_,
+            "support_vectors": self.support_vectors_,
+            "dual_coef": self.dual_coef_,
+        }
+
+    def _import_fitted(self, state: dict) -> None:
+        self._gamma_value = float(state["gamma_value"])
+        self._kernel_fn = make_kernel(self.kernel, self._gamma_value, self.degree, self.coef0)
+        self.rho_ = float(state["rho"])
+        self.n_iter_ = int(state["n_iter"])
+        self.alpha_ = np.asarray(state["alpha"], dtype=np.float64)
+        self.support_ = np.asarray(state["support"], dtype=np.int64)
+        self.support_vectors_ = np.asarray(state["support_vectors"], dtype=np.float64)
+        self.dual_coef_ = np.asarray(state["dual_coef"], dtype=np.float64)
+
     def _natural_threshold(self) -> float:
         # f(x) = 0 boundary, i.e. score 0 on the flipped scale.
         return 0.0

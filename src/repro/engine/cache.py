@@ -64,6 +64,22 @@ class CacheStats:
             "hat_hits": self.hat_hits,
         }
 
+    def copy(self) -> "CacheStats":
+        """An independent snapshot of the current counters."""
+        return CacheStats(**self.as_dict())
+
+    def __sub__(self, other: "CacheStats") -> "CacheStats":
+        """Counter delta ``self - other`` — activity since a snapshot.
+
+        Long-running services take a :meth:`copy` before handling a
+        request and subtract it afterwards to attribute cache work (and
+        verify "zero factorizations on the warm path") per request.
+        """
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        mine, theirs = self.as_dict(), other.as_dict()
+        return CacheStats(**{key: mine[key] - theirs[key] for key in mine})
+
 
 def _grid_key(points: np.ndarray) -> tuple:
     """Hashable identity of an evaluation grid (digest, not the bytes)."""

@@ -35,3 +35,11 @@ class GridError(ValidationError):
 
 class BasisError(ValidationError):
     """A basis system is malformed or incompatible with the requested operation."""
+
+
+class PersistenceError(ReproError):
+    """A persisted pipeline artifact is missing, corrupt or incompatible.
+
+    Raised by :mod:`repro.serving` when a manifest/array bundle cannot be
+    read, fails validation, or declares an unsupported format version.
+    """

@@ -51,6 +51,31 @@ class Basis(abc.ABC):
         """
         return ()
 
+    def _config_extras(self) -> dict:
+        """Subclass hook: extra JSON-able constructor arguments.
+
+        Must mirror :meth:`to_config`: every key returned here is passed
+        back to the constructor by
+        :func:`repro.fda.basis.basis_from_config`.
+        """
+        return {}
+
+    def to_config(self) -> dict:
+        """JSON-able description that reconstructs this basis exactly.
+
+        The config contains only plain Python scalars/lists (no arrays,
+        no callables) so it can live in a persisted pipeline manifest;
+        :func:`repro.fda.basis.basis_from_config` inverts it.  Two bases
+        whose configs are equal have equal :attr:`cache_key`, hence
+        bit-identical design matrices.
+        """
+        return {
+            "type": type(self).__name__,
+            "domain": [float(self.domain[0]), float(self.domain[1])],
+            "n_basis": int(self.n_basis),
+            **self._config_extras(),
+        }
+
     @property
     def cache_key(self) -> tuple:
         """Hashable identity of the basis *functions* (not the instance).

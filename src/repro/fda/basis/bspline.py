@@ -85,6 +85,9 @@ class BSplineBasis(Basis):
     def _cache_key_extras(self) -> tuple:
         return (self.order, self._interior.tobytes())
 
+    def _config_extras(self) -> dict:
+        return {"order": int(self.order), "knots": [float(t) for t in self._interior]}
+
     @property
     def degree(self) -> int:
         """Polynomial degree of the spline pieces (``order - 1``)."""

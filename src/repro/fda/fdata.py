@@ -23,7 +23,30 @@ from repro.fda.basis.base import Basis
 from repro.fda.quadrature import integrate_sampled
 from repro.utils.validation import as_float_array, check_grid, check_int
 
-__all__ = ["FDataGrid", "MFDataGrid", "IrregularFData", "BasisFData", "MultivariateBasisFData"]
+__all__ = [
+    "FDataGrid",
+    "MFDataGrid",
+    "IrregularFData",
+    "BasisFData",
+    "MultivariateBasisFData",
+    "as_mfd",
+]
+
+
+def as_mfd(data) -> "MFDataGrid":
+    """Coerce (M)FDataGrid input to :class:`MFDataGrid`, rejecting the rest.
+
+    The shared input-normalization step of every consumer that accepts
+    both univariate and multivariate gridded data (pipeline, methods,
+    serving).
+    """
+    if isinstance(data, FDataGrid):
+        return data.to_multivariate()
+    if not isinstance(data, MFDataGrid):
+        raise ValidationError(
+            f"data must be MFDataGrid or FDataGrid, got {type(data).__name__}"
+        )
+    return data
 
 
 @dataclass(frozen=True)

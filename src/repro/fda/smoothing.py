@@ -121,6 +121,53 @@ class BasisSmoother:
             "expected FDataGrid or IrregularFData"
         )
 
+    # ---------------------------------------------------------------- inference
+    def transform(self, data) -> BasisFData:
+        """Project *new* curves onto the fixed basis — the inference path.
+
+        Smoothing is a per-curve linear projection: the "fitted state" of
+        a smoother is its configuration (basis, ``lambda``, penalty
+        order), not training coefficients, so transforming new curves
+        never refits anything.  When the curves arrive on a grid the
+        shared cache has seen before, the design matrix and the normal
+        equation factorization are reused and this costs two GEMMs plus
+        a triangular solve.
+        """
+        return self.fit(data)
+
+    def to_config(self) -> dict:
+        """JSON-able description reconstructing this smoother exactly.
+
+        Inverted by :meth:`from_config`; contains the basis config plus
+        the penalty settings, which fully determine the projection.
+        """
+        return {
+            "basis": self.basis.to_config(),
+            "smoothing": float(self.smoothing),
+            "penalty_order": int(self.penalty_order),
+        }
+
+    @classmethod
+    def from_config(cls, config: dict, cache=None) -> "BasisSmoother":
+        """Rebuild a smoother from :meth:`to_config` output.
+
+        ``cache`` optionally attaches a shared
+        :class:`~repro.engine.FactorizationCache` so restored smoothers
+        join an existing serving context's memoized factorizations.
+        """
+        from repro.fda.basis import basis_from_config
+
+        if not isinstance(config, dict) or "basis" not in config:
+            raise ValidationError(
+                f"smoother config must be a dict with a 'basis' key, got {config!r}"
+            )
+        return cls(
+            basis_from_config(config["basis"]),
+            smoothing=float(config.get("smoothing", 0.0)),
+            penalty_order=int(config.get("penalty_order", 2)),
+            cache=cache,
+        )
+
     # ---------------------------------------------------------------- hat matrix
     def hat_matrix(self, points) -> np.ndarray:
         """Hat (smoother) matrix ``S`` mapping observations to fitted values."""

@@ -92,6 +92,19 @@ class MappingFunction(abc.ABC):
             derivatives.append(current)
         return FDataGrid(self._map(derivatives, data.grid), data.grid)
 
+    def _config_params(self) -> dict:
+        """Subclass hook: JSON-able constructor kwargs (see :meth:`to_config`)."""
+        return {}
+
+    def to_config(self) -> dict:
+        """JSON-able description reconstructing this mapping exactly.
+
+        Inverted by :func:`repro.geometry.mappings.mapping_from_config`;
+        used by the serving layer to persist a pipeline's mapping without
+        pickling code objects.
+        """
+        return {"type": type(self).__name__, "params": self._config_params()}
+
     def _check_dimension(self, p: int) -> None:
         if p < self.min_dimension:
             raise ValidationError(

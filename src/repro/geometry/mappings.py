@@ -29,6 +29,8 @@ __all__ = [
     "NormMapping",
     "ComponentMapping",
     "CompositeMapping",
+    "MAPPING_REGISTRY",
+    "mapping_from_config",
 ]
 
 
@@ -62,6 +64,9 @@ class CurvatureMapping(MappingFunction):
         return differential.curvature(
             derivatives[1], derivatives[2], regularization=self.regularization
         )
+
+    def _config_params(self) -> dict:
+        return {"regularization": self.regularization}
 
 
 class SpeedMapping(MappingFunction):
@@ -130,6 +135,9 @@ class GeneralizedCurvatureMapping(MappingFunction):
     def name(self) -> str:
         return f"chi{self.order}"
 
+    def _config_params(self) -> dict:
+        return {"order": self.order}
+
     def _map(self, derivatives, grid):
         n_samples = derivatives[0].shape[0]
         out = np.empty((n_samples, grid.shape[0]))
@@ -163,6 +171,9 @@ class ComponentMapping(MappingFunction):
     @property
     def name(self) -> str:
         return f"component{self.component}"
+
+    def _config_params(self) -> dict:
+        return {"component": self.component}
 
     def _map(self, derivatives, grid):
         values = derivatives[0]
@@ -217,3 +228,49 @@ class CompositeMapping:
         index_grid = index_grid + np.arange(index_grid.shape[0]) * 1e-12
         assert stacked.shape[1] == index_grid.shape[0] == m * len(blocks)
         return FDataGrid(stacked, index_grid)
+
+    def to_config(self) -> dict:
+        """JSON-able description (see :meth:`MappingFunction.to_config`)."""
+        return {
+            "type": "CompositeMapping",
+            "mappings": [m.to_config() for m in self.mappings],
+        }
+
+
+#: Mapping classes addressable from persisted configs, keyed by class
+#: name (the ``"type"`` field of :meth:`MappingFunction.to_config`).
+MAPPING_REGISTRY: dict[str, type[MappingFunction]] = {
+    cls.__name__: cls
+    for cls in (
+        CurvatureMapping,
+        SpeedMapping,
+        ArcLengthMapping,
+        TangentAngleMapping,
+        SignedCurvatureMapping,
+        TorsionMapping,
+        GeneralizedCurvatureMapping,
+        NormMapping,
+        ComponentMapping,
+    )
+}
+
+
+def mapping_from_config(config: dict) -> MappingFunction | CompositeMapping:
+    """Rebuild a mapping from a ``to_config`` dictionary.
+
+    The inverse of :meth:`MappingFunction.to_config` /
+    :meth:`CompositeMapping.to_config`.
+    """
+    if not isinstance(config, dict) or "type" not in config:
+        raise ValidationError(
+            f"mapping config must be a dict with a 'type' key, got {config!r}"
+        )
+    name = config["type"]
+    if name == "CompositeMapping":
+        return CompositeMapping([mapping_from_config(c) for c in config.get("mappings", [])])
+    cls = MAPPING_REGISTRY.get(name)
+    if cls is None:
+        raise ValidationError(
+            f"unknown mapping type {name!r}; known: {sorted(MAPPING_REGISTRY)}"
+        )
+    return cls(**config.get("params", {}))

@@ -1,0 +1,38 @@
+"""Serving layer: persist fitted pipelines, score traffic at scale.
+
+The experiment stack fits a :class:`~repro.core.GeometricOutlierPipeline`
+per protocol cell; production traffic inverts that shape — fit *once*,
+then score arbitrary incoming curve batches fast, indefinitely, in a
+process that never saw the training data.  This package provides the
+three pieces of that inference path:
+
+* :mod:`repro.serving.persist` — versioned save/load of fitted
+  pipelines as a NumPy ``.npz`` array bundle plus a JSON manifest
+  (no pickle, no code objects);
+* :mod:`repro.serving.service` — :class:`ScoringService`, a registry of
+  named loaded pipelines with a micro-batching queue that amortizes
+  design-matrix and factorization work through the shared
+  :class:`~repro.engine.FactorizationCache`;
+* :func:`~repro.serving.service.score_stream` — chunked scoring of large
+  datasets in bounded memory (also exposed as ``repro serve-score``).
+"""
+
+from repro.serving.persist import (
+    ARRAYS_NAME,
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    load_pipeline,
+    save_pipeline,
+)
+from repro.serving.service import ScoreTicket, ScoringService, score_stream
+
+__all__ = [
+    "ARRAYS_NAME",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "ScoreTicket",
+    "ScoringService",
+    "load_pipeline",
+    "save_pipeline",
+    "score_stream",
+]

@@ -1,0 +1,175 @@
+"""Versioned on-disk persistence for fitted pipelines.
+
+A saved pipeline is a *directory* containing exactly two files:
+
+* ``manifest.json`` — every JSON-able part of the fitted state (basis
+  and smoother configs, mapping config, detector hyper-parameters and
+  scalar state) plus the format header;
+* ``arrays.npz`` — every NumPy array of the fitted state (evaluation
+  grid, detector arrays such as isolation-tree nodes or support
+  vectors), compressed, loaded with ``allow_pickle=False``.
+
+Array values inside the manifest are replaced by ``{"__array__": key}``
+placeholders naming their entry in the ``.npz`` bundle, so the manifest
+stays human-readable and the bundle stays pickle-free.  Nothing in the
+format references user code paths: loading never imports or executes
+anything beyond the :mod:`repro` registries (bases, mappings,
+detectors).
+
+Manifest format and versioning rules
+------------------------------------
+The manifest header is ``{"format": "repro-pipeline",
+"format_version": N, "repro_version": ..., "state": {...}}``.
+
+* ``format_version`` is a single integer, currently ``1``.  A loader
+  accepts exactly the versions it knows (see :data:`FORMAT_VERSION`);
+  anything else raises :class:`~repro.exceptions.PersistenceError` —
+  fail loudly rather than mis-read arrays.
+* *Adding* optional keys to ``state`` is backward compatible and does
+  **not** bump the version (loaders must ignore unknown keys).
+* *Renaming/removing* keys, changing array shapes/semantics, or
+  changing the placeholder scheme **must** bump ``format_version`` and
+  teach :func:`load_pipeline` to translate old versions explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from zipfile import BadZipFile
+
+import numpy as np
+
+from repro import __version__
+from repro.core.pipeline import GeometricOutlierPipeline
+from repro.engine import ExecutionContext
+from repro.exceptions import PersistenceError, ReproError
+
+__all__ = ["FORMAT_VERSION", "MANIFEST_NAME", "ARRAYS_NAME", "save_pipeline", "load_pipeline"]
+
+#: Current (and only) supported manifest format version.
+FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+ARRAYS_NAME = "arrays.npz"
+
+_ARRAY_MARKER = "__array__"
+
+
+def _flatten(node, path: str, arrays: dict):
+    """Replace every ndarray in ``node`` by a placeholder, collecting arrays."""
+    if isinstance(node, np.ndarray):
+        arrays[path] = node
+        return {_ARRAY_MARKER: path}
+    if isinstance(node, dict):
+        return {key: _flatten(value, f"{path}.{key}" if path else key, arrays)
+                for key, value in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [_flatten(value, f"{path}.{i}", arrays) for i, value in enumerate(node)]
+    if isinstance(node, (np.integer,)):
+        return int(node)
+    if isinstance(node, (np.floating,)):
+        return float(node)
+    if isinstance(node, (np.bool_,)):
+        return bool(node)
+    return node
+
+
+def _unflatten(node, arrays):
+    """Inverse of :func:`_flatten`: resolve placeholders against ``arrays``."""
+    if isinstance(node, dict):
+        if set(node.keys()) == {_ARRAY_MARKER}:
+            key = node[_ARRAY_MARKER]
+            if key not in arrays:
+                raise PersistenceError(
+                    f"manifest references array {key!r} missing from {ARRAYS_NAME}"
+                )
+            return arrays[key]
+        return {key: _unflatten(value, arrays) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_unflatten(value, arrays) for value in node]
+    return node
+
+
+def save_pipeline(pipeline: GeometricOutlierPipeline, path) -> Path:
+    """Persist a fitted pipeline to directory ``path`` (created if needed).
+
+    Writes ``manifest.json`` + ``arrays.npz`` (see the module docstring
+    for the format).  Returns the directory path.  The pipeline must be
+    fitted; saving never mutates it.
+    """
+    if not isinstance(pipeline, GeometricOutlierPipeline):
+        raise PersistenceError(
+            f"can only save GeometricOutlierPipeline, got {type(pipeline).__name__}"
+        )
+    state = pipeline.export_fitted_state()
+    arrays: dict[str, np.ndarray] = {}
+    manifest = {
+        "format": "repro-pipeline",
+        "format_version": FORMAT_VERSION,
+        "repro_version": __version__,
+        "state": _flatten(state, "", arrays),
+    }
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    with open(path / MANIFEST_NAME, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    np.savez_compressed(path / ARRAYS_NAME, **arrays)
+    return path
+
+
+def _read_manifest(path: Path) -> dict:
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise PersistenceError(f"no pipeline manifest at {manifest_path}")
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PersistenceError(f"cannot read pipeline manifest {manifest_path}: {exc}") from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != "repro-pipeline":
+        raise PersistenceError(f"{manifest_path} is not a repro pipeline manifest")
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported pipeline format version {version!r} in {manifest_path} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    if "state" not in manifest:
+        raise PersistenceError(f"{manifest_path} has no 'state' section")
+    return manifest
+
+
+def _read_arrays(path: Path) -> dict:
+    arrays_path = path / ARRAYS_NAME
+    if not arrays_path.is_file():
+        raise PersistenceError(f"no pipeline array bundle at {arrays_path}")
+    try:
+        with np.load(arrays_path, allow_pickle=False) as bundle:
+            return {key: bundle[key] for key in bundle.files}
+    except (OSError, ValueError, BadZipFile) as exc:
+        raise PersistenceError(f"cannot read pipeline arrays {arrays_path}: {exc}") from exc
+
+
+def load_pipeline(path, context: ExecutionContext | None = None) -> GeometricOutlierPipeline:
+    """Load a pipeline saved by :func:`save_pipeline`, ready to score.
+
+    ``context`` optionally attaches the restored pipeline to a shared
+    serving :class:`~repro.engine.ExecutionContext` so repeated loads
+    and subsequent scoring share one factorization cache.
+
+    Raises :class:`~repro.exceptions.PersistenceError` when the
+    directory, manifest or array bundle is missing, corrupt, or declares
+    an unsupported format version.
+    """
+    path = Path(path)
+    if not path.is_dir():
+        raise PersistenceError(f"no saved pipeline directory at {path}")
+    manifest = _read_manifest(path)
+    arrays = _read_arrays(path)
+    state = _unflatten(manifest["state"], arrays)
+    try:
+        return GeometricOutlierPipeline.from_fitted_state(state, context=context)
+    except ReproError as exc:
+        raise PersistenceError(f"cannot restore pipeline from {path}: {exc}") from exc

@@ -1,0 +1,263 @@
+"""Batched scoring service over persisted pipelines.
+
+:class:`ScoringService` is the process-level serving object: it holds
+one shared :class:`~repro.engine.ExecutionContext` and any number of
+named fitted pipelines (registered in-memory or loaded from disk).  All
+scoring routes through the context's
+:class:`~repro.engine.FactorizationCache`, so once a pipeline has scored
+a single batch on some measurement grid, every later batch on that grid
+skips design-matrix building and normal-equation refactorization
+entirely — scoring cost degenerates to two GEMMs, the mapping
+evaluation and the detector.
+
+Two traffic shapes are supported on top of direct :meth:`~ScoringService.score`:
+
+* **micro-batching** — many small requests are queued with
+  :meth:`~ScoringService.submit` and resolved together by
+  :meth:`~ScoringService.flush`, which concatenates same-(pipeline,
+  grid) requests into one batch so the per-batch fixed costs (solve
+  setup, mapping evaluation, detector dispatch) are paid once per group
+  instead of once per request;
+* **streaming** — :func:`score_stream` walks a large dataset in
+  bounded-size chunks, never materializing the full feature matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.pipeline import GeometricOutlierPipeline
+from repro.engine import ExecutionContext
+from repro.engine.cache import _grid_key
+from repro.exceptions import NotFittedError, ValidationError
+from repro.fda.fdata import FDataGrid, MFDataGrid, as_mfd
+from repro.serving.persist import load_pipeline
+from repro.utils.validation import check_int
+
+__all__ = ["ScoreTicket", "ScoringService", "score_stream"]
+
+
+def score_stream(
+    pipeline: GeometricOutlierPipeline,
+    data,
+    chunk_size: int = 256,
+) -> Iterator[np.ndarray]:
+    """Yield outlyingness scores for ``data`` in bounded-memory chunks.
+
+    ``data`` is either a single (M)FDataGrid — scored ``chunk_size``
+    curves at a time — or an iterable of (M)FDataGrid batches, each
+    scored as it arrives.  Peak memory is bounded by one chunk's feature
+    matrix regardless of the dataset size; concatenating the yielded
+    arrays reproduces ``pipeline.score_samples(data)`` exactly, because
+    both smoothing and detection are per-curve operations.
+    """
+    chunk_size = check_int(chunk_size, "chunk_size", minimum=1)
+    if isinstance(data, (FDataGrid, MFDataGrid)):
+        mfd = as_mfd(data)
+        for start in range(0, mfd.n_samples, chunk_size):
+            yield pipeline.score_samples(mfd[start : start + chunk_size])
+        return
+    if isinstance(data, Iterable):
+        for batch in data:
+            yield pipeline.score_samples(as_mfd(batch))
+        return
+    raise ValidationError(
+        f"data must be (M)FDataGrid or an iterable of batches, got {type(data).__name__}"
+    )
+
+
+class ScoreTicket:
+    """Handle for one queued scoring request (see :meth:`ScoringService.submit`)."""
+
+    __slots__ = ("pipeline_name", "n_samples", "_scores", "_error")
+
+    def __init__(self, pipeline_name: str, n_samples: int):
+        self.pipeline_name = pipeline_name
+        self.n_samples = n_samples
+        self._scores: np.ndarray | None = None
+        self._error: Exception | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._scores is not None or self._error is not None
+
+    def result(self) -> np.ndarray:
+        """The scores, once the owning service has flushed this ticket.
+
+        Re-raises the scoring error if this ticket's group failed (a bad
+        batch only poisons its own group, never other tickets).
+        """
+        if self._error is not None:
+            raise self._error
+        if self._scores is None:
+            raise NotFittedError(
+                "ticket is still pending — call ScoringService.flush() first"
+            )
+        return self._scores
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "failed" if self._error is not None else ("done" if self.done else "pending")
+        return f"ScoreTicket({self.pipeline_name!r}, n={self.n_samples}, {status})"
+
+
+class ScoringService:
+    """Registry of named fitted pipelines with a micro-batching queue.
+
+    Parameters
+    ----------
+    context:
+        The shared :class:`~repro.engine.ExecutionContext`; every loaded
+        pipeline attaches to its factorization cache.  A private context
+        is created when omitted.
+    max_pending:
+        Auto-flush threshold: :meth:`submit` triggers a :meth:`flush` as
+        soon as the queued curve count reaches this bound, keeping queue
+        memory (and tail latency) bounded under sustained traffic.
+    """
+
+    def __init__(self, context: ExecutionContext | None = None, max_pending: int = 1024):
+        if context is not None and not isinstance(context, ExecutionContext):
+            raise ValidationError(
+                f"context must be an ExecutionContext, got {type(context).__name__}"
+            )
+        self.context = context if context is not None else ExecutionContext()
+        self.max_pending = check_int(max_pending, "max_pending", minimum=1)
+        self._pipelines: dict[str, GeometricOutlierPipeline] = {}
+        self._queue: list[tuple[tuple, MFDataGrid, ScoreTicket]] = []
+        self._pending_curves = 0
+        self.served_curves = 0
+        self.served_requests = 0
+        self.flushes = 0
+
+    # ------------------------------------------------------------------ registry
+    def register(self, name: str, pipeline: GeometricOutlierPipeline) -> None:
+        """Attach an already-fitted in-memory pipeline under ``name``."""
+        if not isinstance(name, str) or not name:
+            raise ValidationError(f"pipeline name must be a non-empty string, got {name!r}")
+        if not isinstance(pipeline, GeometricOutlierPipeline):
+            raise ValidationError(
+                f"pipeline must be a GeometricOutlierPipeline, got {type(pipeline).__name__}"
+            )
+        if not pipeline._fitted:
+            raise NotFittedError("cannot register an unfitted pipeline")
+        self._pipelines[name] = pipeline
+
+    def load(self, name: str, path) -> GeometricOutlierPipeline:
+        """Load a persisted pipeline from ``path`` and register it as ``name``.
+
+        The restored pipeline joins this service's context, so pipelines
+        serving data on the same measurement grid share cached
+        factorizations.
+        """
+        pipeline = load_pipeline(path, context=self.context)
+        self.register(name, pipeline)
+        return pipeline
+
+    def names(self) -> list[str]:
+        return sorted(self._pipelines)
+
+    def _pipeline(self, name: str) -> GeometricOutlierPipeline:
+        try:
+            return self._pipelines[name]
+        except KeyError:
+            raise ValidationError(
+                f"no pipeline named {name!r}; loaded: {self.names()}"
+            ) from None
+
+    # ------------------------------------------------------------------ scoring
+    def score(self, name: str, data) -> np.ndarray:
+        """Score one batch immediately (bypassing the queue)."""
+        mfd = as_mfd(data)
+        scores = self._pipeline(name).score_samples(mfd)
+        self.served_curves += mfd.n_samples
+        self.served_requests += 1
+        return scores
+
+    def submit(self, name: str, data) -> ScoreTicket:
+        """Queue a batch for micro-batched scoring; returns its ticket.
+
+        Tickets resolve on the next :meth:`flush` (triggered
+        automatically once ``max_pending`` curves are queued).
+        """
+        mfd = as_mfd(data)
+        self._pipeline(name)  # fail fast on unknown names
+        ticket = ScoreTicket(name, mfd.n_samples)
+        group_key = (name, _grid_key(mfd.grid), mfd.n_parameters)
+        self._queue.append((group_key, mfd, ticket))
+        self._pending_curves += mfd.n_samples
+        if self._pending_curves >= self.max_pending:
+            self.flush()
+        return ticket
+
+    def flush(self) -> int:
+        """Resolve every queued ticket; returns the number resolved.
+
+        Requests are grouped by (pipeline, measurement grid, parameter
+        count); each group is concatenated into one batch, pushed
+        through the pipeline once, and the score vector is split back
+        per ticket.  Grouping preserves per-curve results (smoothing and
+        detection are row-independent), so micro-batching is a pure
+        throughput optimization.  A batch that fails to score poisons
+        only its own group: the error is re-raised from those tickets'
+        :meth:`ScoreTicket.result`, and every other group still
+        resolves.
+        """
+        queue, self._queue = self._queue, []
+        self._pending_curves = 0
+        if not queue:
+            return 0
+        groups: dict[tuple, list[tuple[MFDataGrid, ScoreTicket]]] = {}
+        for group_key, mfd, ticket in queue:
+            groups.setdefault(group_key, []).append((mfd, ticket))
+        for (name, _, _), entries in groups.items():
+            try:
+                if len(entries) == 1:
+                    mfd, ticket = entries[0]
+                    ticket._scores = self._pipeline(name).score_samples(mfd)
+                else:
+                    first = entries[0][0]
+                    merged = MFDataGrid(
+                        np.concatenate([mfd.values for mfd, _ in entries], axis=0),
+                        first.grid,
+                    )
+                    scores = self._pipeline(name).score_samples(merged)
+                    offset = 0
+                    for mfd, ticket in entries:
+                        ticket._scores = scores[offset : offset + mfd.n_samples]
+                        offset += mfd.n_samples
+            except Exception as exc:
+                for _, ticket in entries:
+                    ticket._error = exc
+                continue
+            self.served_curves += sum(mfd.n_samples for mfd, _ in entries)
+            self.served_requests += len(entries)
+        self.flushes += 1
+        return len(queue)
+
+    def score_stream(self, name: str, data, chunk_size: int = 256) -> Iterator[np.ndarray]:
+        """Stream scores for a large dataset through pipeline ``name``."""
+        pipeline = self._pipeline(name)
+        for scores in score_stream(pipeline, data, chunk_size=chunk_size):
+            self.served_curves += scores.shape[0]
+            self.served_requests += 1
+            yield scores
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> dict:
+        """Service counters plus the shared cache's hit/build counters."""
+        return {
+            "pipelines": len(self._pipelines),
+            "served_curves": self.served_curves,
+            "served_requests": self.served_requests,
+            "flushes": self.flushes,
+            "pending_requests": len(self._queue),
+            "cache": self.context.cache.stats.as_dict(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScoringService(pipelines={self.names()}, "
+            f"served_curves={self.served_curves})"
+        )

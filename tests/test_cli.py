@@ -1,8 +1,12 @@
 """Smoke tests for the command-line interface."""
 
+import json
+
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
+from repro.serving import MANIFEST_NAME, save_pipeline
 
 
 class TestParser:
@@ -45,3 +49,95 @@ class TestCommands:
         assert "iFor(Curvmap)" in out
         assert "OCSVM(Curvmap)" in out
         assert "c=0.25" in out
+
+
+@pytest.fixture()
+def saved_pipeline(tmp_path):
+    """A small fitted pipeline persisted to disk, plus a matching batch."""
+    from repro.core.pipeline import GeometricOutlierPipeline
+    from repro.data.synthetic import make_taxonomy_dataset
+    from repro.detectors import IsolationForest
+
+    data, _ = make_taxonomy_dataset(
+        "correlation", n_inliers=30, n_outliers=4, random_state=0
+    )
+    pipeline = GeometricOutlierPipeline(
+        IsolationForest(n_estimators=25, random_state=0), n_basis=10
+    ).fit(data)
+    model_dir = tmp_path / "model"
+    save_pipeline(pipeline, model_dir)
+    batch_path = tmp_path / "batch.npz"
+    np.savez(batch_path, values=data.values, grid=data.grid)
+    return model_dir, batch_path
+
+
+class TestServeScore:
+    def test_happy_path_writes_scores(self, saved_pipeline, tmp_path, capsys):
+        model_dir, batch_path = saved_pipeline
+        output = tmp_path / "scores.npz"
+        rc = main([
+            "serve-score", "--pipeline", str(model_dir), "--data", str(batch_path),
+            "--chunk-size", "8", "--output", str(output),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serve-score" in out
+        assert "curves scored" in out
+        assert np.load(output)["scores"].shape == (34,)
+
+    def test_missing_pipeline_directory(self, saved_pipeline, tmp_path, capsys):
+        _, batch_path = saved_pipeline
+        rc = main(["serve-score", "--pipeline", str(tmp_path / "nope"),
+                   "--data", str(batch_path)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_pipeline_manifest(self, saved_pipeline, capsys):
+        model_dir, batch_path = saved_pipeline
+        (model_dir / MANIFEST_NAME).write_text("{broken", encoding="utf-8")
+        rc = main(["serve-score", "--pipeline", str(model_dir),
+                   "--data", str(batch_path)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_wrong_manifest_format(self, saved_pipeline, capsys):
+        model_dir, batch_path = saved_pipeline
+        (model_dir / MANIFEST_NAME).write_text(
+            json.dumps({"format": "other"}), encoding="utf-8"
+        )
+        assert main(["serve-score", "--pipeline", str(model_dir),
+                     "--data", str(batch_path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_data_file(self, saved_pipeline, tmp_path, capsys):
+        model_dir, _ = saved_pipeline
+        rc = main(["serve-score", "--pipeline", str(model_dir),
+                   "--data", str(tmp_path / "nothing.npz")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_batch_rejected(self, saved_pipeline, tmp_path, capsys):
+        model_dir, _ = saved_pipeline
+        empty = tmp_path / "empty.npz"
+        np.savez(empty, values=np.zeros((0, 5, 2)), grid=np.linspace(0, 1, 5))
+        rc = main(["serve-score", "--pipeline", str(model_dir), "--data", str(empty)])
+        assert rc == 2
+        assert "no curves" in capsys.readouterr().err
+
+    def test_data_missing_required_arrays(self, saved_pipeline, tmp_path, capsys):
+        model_dir, _ = saved_pipeline
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, wrong=np.zeros(3))
+        rc = main(["serve-score", "--pipeline", str(model_dir), "--data", str(bad)])
+        assert rc == 2
+        assert "missing arrays" in capsys.readouterr().err
+
+    def test_missing_required_options_exit_nonzero(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve-score"])
+        assert excinfo.value.code != 0
+
+    def test_unknown_subcommand_exit_nonzero(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code != 0

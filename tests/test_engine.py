@@ -182,6 +182,34 @@ class TestParallelExperiment:
         serial, parallel = run(1), run(2)
         assert serial.to_records() == parallel.to_records()
 
+    def test_n_jobs_two_bit_identical_golden_path(self, small_dataset):
+        """Regression guard for the engine's seed-spawning contract.
+
+        The serving/production story leans on parallel experiment runs
+        being *bit-identical* to serial ones; this pins the full
+        golden path (two mapped methods, shared context, OCSVM with ν
+        tuning) on a small grid so any scheduler- or seed-ordering
+        regression fails loudly.
+        """
+        data, labels = small_dataset
+
+        def run(n_jobs):
+            table = run_contamination_experiment(
+                data, labels,
+                [MappedDetectorMethod("iforest", n_basis=10, n_estimators=25),
+                 MappedDetectorMethod("ocsvm", n_basis=10)],
+                contamination_levels=(0.05, 0.2),
+                n_repetitions=3,
+                train_fraction=0.7,
+                random_state=123,
+                n_jobs=n_jobs,
+                context=ExecutionContext(),
+            )
+            return table.to_records()
+
+        serial, parallel = run(1), run(2)
+        assert serial == parallel  # exact float equality, not approximate
+
     def test_shared_context_caches_across_methods(self, small_dataset):
         data, labels = small_dataset
         ctx = ExecutionContext()

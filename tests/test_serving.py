@@ -1,0 +1,380 @@
+"""Tests for the serving layer: persistence, scoring service, streaming."""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import GeometricOutlierPipeline
+from repro.data.synthetic import make_taxonomy_dataset
+from repro.detectors import DETECTOR_REGISTRY, detector_from_state, make_detector
+from repro.engine import ExecutionContext
+from repro.exceptions import NotFittedError, PersistenceError, ValidationError
+from repro.fda.fdata import MFDataGrid
+from repro.geometry.mappings import (
+    CompositeMapping,
+    CurvatureMapping,
+    SpeedMapping,
+    mapping_from_config,
+)
+from repro.serving import (
+    ARRAYS_NAME,
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    ScoringService,
+    load_pipeline,
+    save_pipeline,
+    score_stream,
+)
+
+#: Constructor kwargs keeping every registered detector happy on tiny data.
+DETECTOR_KWARGS = {
+    "iforest": {"random_state": 0, "n_estimators": 25},
+    "ocsvm": {},
+    "knn": {"n_neighbors": 3},
+    "lof": {"n_neighbors": 5},
+    "mahalanobis": {},
+}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    data, labels = make_taxonomy_dataset(
+        "correlation", n_inliers=40, n_outliers=6, random_state=0
+    )
+    return data, labels
+
+
+def _fitted_pipeline(data, detector_name="iforest", **pipeline_kwargs):
+    detector = make_detector(detector_name, **DETECTOR_KWARGS[detector_name])
+    pipeline_kwargs.setdefault("n_basis", 12)
+    return GeometricOutlierPipeline(detector, **pipeline_kwargs).fit(data)
+
+
+class TestDetectorState:
+    @pytest.mark.parametrize("name", sorted(DETECTOR_REGISTRY))
+    def test_export_import_bit_identical(self, name, gaussian_cloud):
+        X, _ = gaussian_cloud
+        detector = make_detector(name, **DETECTOR_KWARGS[name]).fit(X)
+        restored = detector_from_state(detector.export_state())
+        assert np.array_equal(restored.score_samples(X), detector.score_samples(X))
+        assert restored.threshold_ == detector.threshold_
+        assert restored.n_features_ == detector.n_features_
+
+    def test_export_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            make_detector("iforest").export_state()
+
+    def test_state_contains_no_objects(self, gaussian_cloud):
+        X, _ = gaussian_cloud
+        state = make_detector("ocsvm").fit(X).export_state()
+        for value in state["fitted"].values():
+            assert isinstance(value, (np.ndarray, int, float, str, bool))
+
+    def test_type_mismatch_rejected(self, gaussian_cloud):
+        X, _ = gaussian_cloud
+        state = make_detector("knn", n_neighbors=3).fit(X).export_state()
+        state["type"] = "LocalOutlierFactor"
+        with pytest.raises(ValidationError):
+            from repro.detectors import KNNDetector
+
+            KNNDetector.from_state(state)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValidationError):
+            detector_from_state({"type": "NoSuchDetector", "config": {}, "fitted": {}})
+
+
+class TestPersistenceRoundTrip:
+    @pytest.mark.parametrize("name", sorted(DETECTOR_REGISTRY))
+    def test_save_load_score_identical(self, name, dataset, tmp_path):
+        data, _ = dataset
+        pipeline = _fitted_pipeline(data, name)
+        reference = pipeline.score_samples(data)
+        save_pipeline(pipeline, tmp_path / "model")
+        loaded = load_pipeline(tmp_path / "model")
+        np.testing.assert_allclose(loaded.score_samples(data), reference, atol=1e-12)
+
+    def test_composite_mapping_round_trip(self, dataset, tmp_path):
+        data, _ = dataset
+        mapping = CompositeMapping([CurvatureMapping(), SpeedMapping()])
+        pipeline = GeometricOutlierPipeline(
+            make_detector("iforest", random_state=1), mapping=mapping, n_basis=12
+        ).fit(data)
+        save_pipeline(pipeline, tmp_path / "model")
+        loaded = load_pipeline(tmp_path / "model")
+        assert loaded.mapping.name == mapping.name
+        np.testing.assert_allclose(
+            loaded.score_samples(data), pipeline.score_samples(data), atol=1e-12
+        )
+
+    def test_loaded_pipeline_selected_sizes_preserved(self, dataset, tmp_path):
+        data, _ = dataset
+        pipeline = _fitted_pipeline(data, n_basis=(8, 12, 16))
+        save_pipeline(pipeline, tmp_path / "model")
+        loaded = load_pipeline(tmp_path / "model")
+        assert loaded.selected_n_basis_ == pipeline.selected_n_basis_
+
+    def test_fresh_process_scores_identical(self, dataset, tmp_path):
+        """The acceptance criterion: save, reload in a *new* process, score."""
+        data, _ = dataset
+        pipeline = _fitted_pipeline(data)
+        reference = pipeline.score_samples(data)
+        save_pipeline(pipeline, tmp_path / "model")
+        np.savez(tmp_path / "batch.npz", values=data.values, grid=data.grid)
+        script = (
+            "import numpy as np\n"
+            "from repro.serving import load_pipeline\n"
+            "from repro.fda.fdata import MFDataGrid\n"
+            f"pipeline = load_pipeline({str(tmp_path / 'model')!r})\n"
+            f"bundle = np.load({str(tmp_path / 'batch.npz')!r})\n"
+            "data = MFDataGrid(bundle['values'], bundle['grid'])\n"
+            f"np.save({str(tmp_path / 'scores.npy')!r}, pipeline.score_samples(data))\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        subprocess.run([sys.executable, "-c", script], check=True, env=env)
+        fresh = np.load(tmp_path / "scores.npy")
+        np.testing.assert_allclose(fresh, reference, atol=1e-12)
+
+    def test_save_requires_fitted(self, tmp_path):
+        pipeline = GeometricOutlierPipeline(make_detector("iforest"))
+        with pytest.raises(NotFittedError):
+            save_pipeline(pipeline, tmp_path / "model")
+
+    def test_save_rejects_non_pipeline(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            save_pipeline(object(), tmp_path / "model")
+
+
+class TestPersistenceErrors:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(PersistenceError, match="no saved pipeline"):
+            load_pipeline(tmp_path / "nope")
+
+    def test_missing_manifest(self, tmp_path):
+        (tmp_path / "model").mkdir()
+        with pytest.raises(PersistenceError, match="manifest"):
+            load_pipeline(tmp_path / "model")
+
+    def test_corrupt_manifest_json(self, dataset, tmp_path):
+        data, _ = dataset
+        save_pipeline(_fitted_pipeline(data), tmp_path / "model")
+        (tmp_path / "model" / MANIFEST_NAME).write_text("{not json", encoding="utf-8")
+        with pytest.raises(PersistenceError, match="cannot read"):
+            load_pipeline(tmp_path / "model")
+
+    def test_wrong_format_version(self, dataset, tmp_path):
+        data, _ = dataset
+        save_pipeline(_fitted_pipeline(data), tmp_path / "model")
+        manifest_path = tmp_path / "model" / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest["format_version"] = FORMAT_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(PersistenceError, match="format version"):
+            load_pipeline(tmp_path / "model")
+
+    def test_not_a_repro_manifest(self, dataset, tmp_path):
+        data, _ = dataset
+        save_pipeline(_fitted_pipeline(data), tmp_path / "model")
+        (tmp_path / "model" / MANIFEST_NAME).write_text(
+            json.dumps({"format": "something-else"}), encoding="utf-8"
+        )
+        with pytest.raises(PersistenceError, match="not a repro pipeline"):
+            load_pipeline(tmp_path / "model")
+
+    def test_missing_array_bundle(self, dataset, tmp_path):
+        data, _ = dataset
+        save_pipeline(_fitted_pipeline(data), tmp_path / "model")
+        (tmp_path / "model" / ARRAYS_NAME).unlink()
+        with pytest.raises(PersistenceError, match="array bundle"):
+            load_pipeline(tmp_path / "model")
+
+    def test_corrupt_array_bundle(self, dataset, tmp_path):
+        data, _ = dataset
+        save_pipeline(_fitted_pipeline(data), tmp_path / "model")
+        (tmp_path / "model" / ARRAYS_NAME).write_bytes(b"garbage")
+        with pytest.raises(PersistenceError, match="cannot read"):
+            load_pipeline(tmp_path / "model")
+
+    @pytest.mark.parametrize("dropped", ["mapping", "eval_grid", "smoothers", "detector"])
+    def test_truncated_state_raises_persistence_error(self, dataset, tmp_path, dropped):
+        """Missing state sections surface as PersistenceError, not KeyError."""
+        data, _ = dataset
+        save_pipeline(_fitted_pipeline(data), tmp_path / "model")
+        manifest_path = tmp_path / "model" / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        del manifest["state"][dropped]
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(PersistenceError):
+            load_pipeline(tmp_path / "model")
+
+
+class TestScoringService:
+    def test_register_and_score(self, dataset):
+        data, _ = dataset
+        pipeline = _fitted_pipeline(data)
+        service = ScoringService()
+        service.register("main", pipeline)
+        assert service.names() == ["main"]
+        np.testing.assert_array_equal(
+            service.score("main", data), pipeline.score_samples(data)
+        )
+
+    def test_register_rejects_unfitted(self):
+        service = ScoringService()
+        with pytest.raises(NotFittedError):
+            service.register("main", GeometricOutlierPipeline(make_detector("iforest")))
+
+    def test_unknown_pipeline_name(self, dataset):
+        data, _ = dataset
+        with pytest.raises(ValidationError, match="no pipeline named"):
+            ScoringService().score("nope", data)
+
+    def test_load_joins_service_context(self, dataset, tmp_path):
+        data, _ = dataset
+        save_pipeline(_fitted_pipeline(data), tmp_path / "model")
+        context = ExecutionContext()
+        service = ScoringService(context=context)
+        loaded = service.load("main", tmp_path / "model")
+        assert loaded.context is context
+
+    def test_micro_batching_matches_direct(self, dataset, tmp_path):
+        data, _ = dataset
+        save_pipeline(_fitted_pipeline(data), tmp_path / "model")
+        service = ScoringService()
+        service.load("main", tmp_path / "model")
+        direct = service.score("main", data)
+        tickets = [
+            service.submit("main", data[np.arange(start, min(start + 7, data.n_samples))])
+            for start in range(0, data.n_samples, 7)
+        ]
+        assert not tickets[0].done
+        assert service.flush() == len(tickets)
+        merged = np.concatenate([t.result() for t in tickets])
+        np.testing.assert_allclose(merged, direct, atol=1e-12)
+
+    def test_auto_flush_at_max_pending(self, dataset):
+        data, _ = dataset
+        service = ScoringService(max_pending=10)
+        service.register("main", _fitted_pipeline(data))
+        first = service.submit("main", data[np.arange(6)])
+        assert not first.done
+        second = service.submit("main", data[np.arange(6, 12)])
+        # 12 curves >= max_pending=10 -> flushed automatically.
+        assert first.done and second.done
+
+    def test_pending_ticket_raises(self, dataset):
+        data, _ = dataset
+        service = ScoringService()
+        service.register("main", _fitted_pipeline(data))
+        ticket = service.submit("main", data[np.arange(3)])
+        with pytest.raises(NotFittedError, match="pending"):
+            ticket.result()
+
+    def test_flush_empty_queue(self):
+        assert ScoringService().flush() == 0
+
+    def test_bad_group_does_not_strand_other_tickets(self, dataset):
+        """A failing batch poisons only its own group on flush."""
+        data, _ = dataset
+        service = ScoringService()
+        service.register("main", _fitted_pipeline(data))
+        good = service.submit("main", data[np.arange(5)])
+        # Same grid but p=1 while the pipeline was fitted on p=2 curves:
+        # that group fails inside the pipeline when flushed.
+        bad = service.submit("main", MFDataGrid(data.values[:3, :, :1], data.grid))
+        service.flush()
+        assert good.done and bad.done
+        np.testing.assert_allclose(
+            good.result(), service.score("main", data[np.arange(5)]), atol=1e-12
+        )
+        with pytest.raises(Exception):
+            bad.result()
+
+    def test_same_grid_different_p_not_merged(self, dataset):
+        """Grouping keys include the parameter count, not just the grid."""
+        data, _ = dataset
+        service = ScoringService()
+        service.register("main", _fitted_pipeline(data))
+        a = service.submit("main", data[np.arange(4)])
+        b = service.submit("main", data[np.arange(4, 8)])
+        univariate = MFDataGrid(data.values[:3, :, :1], data.grid)
+        c = service.submit("main", univariate)
+        service.flush()
+        # The matching-p groups resolve fine despite c's group failing.
+        merged = np.concatenate([a.result(), b.result()])
+        np.testing.assert_allclose(
+            merged, service.score("main", data[np.arange(8)]), atol=1e-12
+        )
+        with pytest.raises(Exception):
+            c.result()
+
+    def test_warm_grid_skips_refactorization(self, dataset, tmp_path):
+        data, _ = dataset
+        save_pipeline(_fitted_pipeline(data), tmp_path / "model")
+        service = ScoringService()
+        service.load("main", tmp_path / "model")
+        service.score("main", data[np.arange(5)])  # cold: builds artifacts
+        before = service.context.cache.stats.copy()
+        for start in range(5, 25, 5):
+            service.score("main", data[np.arange(start, start + 5)])
+        delta = service.context.cache.stats - before
+        assert delta.factorizations == 0
+        assert delta.design_builds == 0
+        assert delta.factorization_hits > 0
+
+    def test_stats_counters(self, dataset):
+        data, _ = dataset
+        service = ScoringService()
+        service.register("main", _fitted_pipeline(data))
+        service.score("main", data[np.arange(4)])
+        stats = service.stats()
+        assert stats["pipelines"] == 1
+        assert stats["served_curves"] == 4
+        assert stats["served_requests"] == 1
+        assert "cache" in stats
+
+
+class TestScoreStream:
+    def test_chunked_equals_full(self, dataset):
+        data, _ = dataset
+        pipeline = _fitted_pipeline(data)
+        full = pipeline.score_samples(data)
+        chunks = list(score_stream(pipeline, data, chunk_size=7))
+        assert all(chunk.shape[0] <= 7 for chunk in chunks)
+        np.testing.assert_allclose(np.concatenate(chunks), full, atol=1e-12)
+
+    def test_iterable_of_batches(self, dataset):
+        data, _ = dataset
+        pipeline = _fitted_pipeline(data)
+        batches = [data[np.arange(0, 10)], data[np.arange(10, 25)]]
+        chunks = list(score_stream(pipeline, iter(batches), chunk_size=100))
+        np.testing.assert_allclose(
+            np.concatenate(chunks),
+            pipeline.score_samples(data[np.arange(25)]),
+            atol=1e-12,
+        )
+
+    def test_service_stream_counts(self, dataset):
+        data, _ = dataset
+        service = ScoringService()
+        service.register("main", _fitted_pipeline(data))
+        list(service.score_stream("main", data, chunk_size=10))
+        assert service.served_curves == data.n_samples
+
+    def test_rejects_bad_input(self, dataset):
+        data, _ = dataset
+        pipeline = _fitted_pipeline(data)
+        with pytest.raises(ValidationError):
+            list(score_stream(pipeline, 42))
+
+    def test_rejects_bad_chunk_size(self, dataset):
+        data, _ = dataset
+        pipeline = _fitted_pipeline(data)
+        with pytest.raises(ValidationError):
+            list(score_stream(pipeline, data, chunk_size=0))
