@@ -1,0 +1,52 @@
+"""Depth-kernel bench: blocked vectorized kernels vs the naive loops.
+
+Times every depth kernel of :mod:`repro.depth._kernels` against its
+``naive=True`` oracle on the acceptance workload (``n`` curves × ``m``
+grid points), appends the machine-readable record to the perf
+trajectory ``BENCH_depth_kernels.json`` at the repo root, and asserts
+the CI gate: every *gated* kernel's vectorized path must beat its naive
+loop (the remaining rows are informational — their cost is dominated by
+work both paths share, e.g. the medians inside projection depth).
+
+Set ``REPRO_BENCH_QUICK=1`` for the CI smoke configuration (the
+acceptance setting n=200, m=100); the default run uses a larger
+workload.  ``repro bench-depth`` exposes the same measurement from the
+CLI.
+"""
+
+import os
+
+from repro.perf import append_bench_record, format_bench_rows, run_depth_kernel_bench
+
+from benchmarks.conftest import BENCH_SEED, print_table
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
+
+N = 200 if QUICK else 300
+M = 100 if QUICK else 150
+REPEATS = 2 if QUICK else 3
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def test_depth_kernel_speedups():
+    record = run_depth_kernel_bench(
+        n=N, m=M, seed=BENCH_SEED, repeats=REPEATS, quick=QUICK
+    )
+    append_bench_record(os.path.join(_REPO_ROOT, "BENCH_depth_kernels.json"), record)
+
+    headers, rows = format_bench_rows(record)
+    print_table(
+        f"Depth kernels — n={N}, m={M} (naive loop vs blocked vectorized)",
+        headers,
+        rows,
+    )
+
+    # The CI gate: a vectorized kernel that fails to beat its own naive
+    # loop is a regression, full stop.
+    for r in record["results"]:
+        if r["gated"]:
+            assert r["vectorized_s"] < r["naive_s"], (
+                f"{r['kernel']}: vectorized ({r['vectorized_s']:.4f}s) slower "
+                f"than naive ({r['naive_s']:.4f}s)"
+            )

@@ -8,6 +8,7 @@ Usage::
     python -m repro taxonomy
     python -m repro all --reps 15
     python -m repro serve-score --pipeline model_dir --data batch.npz
+    python -m repro bench-depth --n 200 --m 100 --n-jobs 2
 
 Each figure subcommand prints the same rows/series as the corresponding
 bench in ``benchmarks/`` (the benches additionally assert the expected
@@ -160,6 +161,29 @@ def _load_batch_npz(path):
     return MFDataGrid(values, grid)
 
 
+def run_bench_depth(args) -> None:
+    """bench-depth: time the depth kernels, persist the perf datapoint."""
+    from repro.perf import append_bench_record, format_bench_rows, run_depth_kernel_bench
+
+    record = run_depth_kernel_bench(
+        n=args.n,
+        m=args.m,
+        seed=args.seed,
+        repeats=args.repeats,
+        n_jobs=args.n_jobs,
+        quick=args.quick,
+    )
+    headers, rows = format_bench_rows(record)
+    _print_table(
+        f"Depth kernels — n={args.n}, m={args.m}, git {record['git_sha'][:12]}",
+        headers,
+        rows,
+    )
+    if args.output:
+        trajectory = append_bench_record(args.output, record)
+        print(f"\nperf trajectory: {args.output} ({len(trajectory)} records)")
+
+
 def run_serve_score(args) -> None:
     """serve-score: stream a persisted pipeline over an ``.npz`` curve batch."""
     from repro.serving import load_pipeline, score_stream
@@ -219,6 +243,23 @@ def build_parser() -> argparse.ArgumentParser:
         subparsers.add_parser(name, parents=[figure_options],
                               help=f"regenerate {name}" if name != "all"
                               else "regenerate every figure")
+    bench = subparsers.add_parser(
+        "bench-depth",
+        help="time naive vs vectorized depth kernels; append the "
+             "machine-readable record to the perf trajectory")
+    bench.add_argument("--n", type=int, default=200, help="curves in the workload")
+    bench.add_argument("--m", type=int, default=100, help="grid points per curve")
+    bench.add_argument("--seed", type=int, default=7, help="workload random seed")
+    bench.add_argument("--repeats", type=int, default=2,
+                       help="timing repetitions (best-of)")
+    bench.add_argument("--n-jobs", type=int, default=1,
+                       help="also time the kernels fanned out over this many "
+                            "workers (1 = skip the pool column)")
+    bench.add_argument("--quick", action="store_true",
+                       help="mark the record as a quick-mode datapoint")
+    bench.add_argument("--output", default="BENCH_depth_kernels.json",
+                       help="perf-trajectory JSON to append to "
+                            "('' = print only)")
     serve = subparsers.add_parser(
         "serve-score", help="score a curve batch with a persisted pipeline")
     serve.add_argument("--pipeline", required=True,
@@ -242,6 +283,8 @@ def main(argv=None) -> int:
                 COMMANDS[name](args)
         elif args.command == "serve-score":
             run_serve_score(args)
+        elif args.command == "bench-depth":
+            run_bench_depth(args)
         else:
             COMMANDS[args.command](args)
     except (ReproError, OSError) as exc:

@@ -257,12 +257,25 @@ class FuntaMethod(Method):
     default): crossing-angle statistics on raw noisy samples are
     dominated by the measurement noise's slopes, which is not what the
     baseline's authors intended.
+
+    Scoring runs through the blocked vectorized kernel layer
+    (:mod:`repro.depth._kernels`); ``naive=True`` restores the original
+    pair loop and ``block_bytes`` tunes the kernel scratch budget.
     """
 
-    def __init__(self, trim: float = 0.0, smooth: bool = True, name: str = "FUNTA"):
+    def __init__(
+        self,
+        trim: float = 0.0,
+        smooth: bool = True,
+        name: str = "FUNTA",
+        naive: bool = False,
+        block_bytes: int | None = None,
+    ):
         self.trim = trim
         self.smooth = bool(smooth)
         self.name = name
+        self.naive = bool(naive)
+        self.block_bytes = block_bytes
 
     def prepare(self, data, random_state=None, context=None):
         data = _as_mfd(data)
@@ -275,11 +288,19 @@ class FuntaMethod(Method):
         data = state["data"]
         train = data[np.asarray(train_idx)]
         test = data[np.asarray(test_idx)]
-        return funta_outlyingness(test, reference=train, trim=self.trim)
+        return funta_outlyingness(
+            test, reference=train, trim=self.trim,
+            naive=self.naive, block_bytes=self.block_bytes,
+        )
 
 
 class DirOutMethod(Method):
-    """Directional outlyingness baseline (Dai & Genton 2019)."""
+    """Directional outlyingness baseline (Dai & Genton 2019).
+
+    Scoring runs through the batched Dir.out kernels; ``naive=True``
+    restores the original per-grid-point loop and ``block_bytes`` tunes
+    the kernel scratch budget.
+    """
 
     def __init__(
         self,
@@ -287,11 +308,15 @@ class DirOutMethod(Method):
         n_directions: int = 200,
         smooth: bool = True,
         name: str = "Dir.out",
+        naive: bool = False,
+        block_bytes: int | None = None,
     ):
         self.method = method
         self.n_directions = n_directions
         self.smooth = bool(smooth)
         self.name = name
+        self.naive = bool(naive)
+        self.block_bytes = block_bytes
 
     def prepare(self, data, random_state=None, context=None):
         data = _as_mfd(data)
@@ -310,6 +335,8 @@ class DirOutMethod(Method):
             method=self.method,
             n_directions=self.n_directions,
             random_state=random_state,
+            naive=self.naive,
+            block_bytes=self.block_bytes,
         )
 
 

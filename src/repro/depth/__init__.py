@@ -1,5 +1,14 @@
-"""Statistical depth functions and the paper's depth-based baselines."""
+"""Statistical depth functions and the paper's depth-based baselines.
 
+Every depth notion runs on the blocked, vectorized kernel layer of
+:mod:`repro.depth._kernels` by default (scratch bounded by a
+``block_bytes`` budget, optional ``context`` worker-pool fan-out); pass
+``naive=True`` to any public function to run the original loop
+implementation instead — the equivalence oracle the property tests pin
+the kernels against.
+"""
+
+from repro.depth._kernels import DEFAULT_BLOCK_BYTES
 from repro.depth.boxplot import FunctionalBoxplot, functional_boxplot
 from repro.depth.dirout import DirectionalOutlyingness, directional_outlyingness, dirout_scores
 from repro.depth.msplot import MSPlotResult, ms_plot
@@ -21,6 +30,7 @@ from repro.depth.multivariate import (
 )
 
 __all__ = [
+    "DEFAULT_BLOCK_BYTES",
     "DirectionalOutlyingness",
     "FunctionalBoxplot",
     "MSPlotResult",

@@ -1,0 +1,797 @@
+"""Blocked, fully vectorized kernels for the depth substrate.
+
+Every depth notion in this package used to walk a Python loop over
+samples, grid points, curve pairs or random directions.  This module
+replaces those loops with whole-array NumPy computations over
+memory-bounded blocks:
+
+* **FUNTA** — the O(n²·m) pair loop becomes one broadcast sign-change
+  computation over ``(block × n_ref × m)`` slabs, with tangent angles
+  ``arctan``-ed once per curve instead of once per pair;
+* **pointwise profiles** — projection / halfspace / mahalanobis /
+  spatial / simplicial depth of every sample at every grid point is
+  dispatched as whole ``(n_samples × n_points)`` cross-sections;
+  halfspace counts come from an exact double-argsort rank trick rather
+  than O(n·n_ref) boolean comparisons per point;
+* **Dir.out** — the per-grid-point Stahel–Donoho and Weiszfeld loops
+  become batched matrix ops (the geometric median iterates all grid
+  points simultaneously, freezing columns as they converge);
+* **simplicial depth** — the per-query-point Python loop over C(n,3)
+  triangles becomes blocked orientation-sign counting over
+  ``(query-block × triangle-block)`` slabs.
+
+Scratch memory is governed by ``block_bytes`` (default
+:data:`DEFAULT_BLOCK_BYTES`, ~64 MB): work is cut into contiguous
+blocks whose temporaries fit the budget, so huge inputs stream through
+a bounded footprint.  Blocks are independent, so an optional
+:class:`~repro.engine.ExecutionContext` fans whole blocks out across
+its process pool (``context.distribute``) with results *bit-identical*
+to the serial order.
+
+The original loop implementations stay reachable on every public depth
+function via ``naive=True`` — they are the equivalence oracle the
+property tests pin these kernels against.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.linalg import row_blocks
+from repro.utils.random import check_random_state
+
+__all__ = [
+    "DEFAULT_BLOCK_BYTES",
+    "MAD_SCALE",
+    "resolve_block_bytes",
+    "draw_directions",
+    "rank_counts",
+    "funta_univariate",
+    "pointwise_profile",
+    "batched_stahel_donoho",
+    "batched_spatial_median",
+    "batched_outlyingness_vectors",
+    "spatial_depth_cloud",
+    "simplicial_depth_cloud",
+    "halfspace_depth_cloud",
+]
+
+#: Default scratch budget per block (~64 MB), tunable per call.
+DEFAULT_BLOCK_BYTES = 64 * 1024 * 1024
+
+#: Consistency factor of the MAD for the normal distribution.
+MAD_SCALE = 1.4826
+
+_HALF_PI = np.pi / 2.0
+
+
+def resolve_block_bytes(block_bytes) -> int:
+    """Validate ``block_bytes`` (``None`` → :data:`DEFAULT_BLOCK_BYTES`)."""
+    if block_bytes is None:
+        return DEFAULT_BLOCK_BYTES
+    if not isinstance(block_bytes, (int, np.integer)) or isinstance(block_bytes, bool):
+        raise ValidationError(f"block_bytes must be a positive int, got {block_bytes!r}")
+    if block_bytes <= 0:
+        raise ValidationError(f"block_bytes must be a positive int, got {block_bytes!r}")
+    return int(block_bytes)
+
+
+def draw_directions(random_state, n_directions: int, p: int) -> np.ndarray:
+    """Random unit directions plus the coordinate axes — shared by the
+    naive and vectorized projection/halfspace paths so both consume the
+    generator identically."""
+    rng = check_random_state(random_state)
+    directions = rng.standard_normal((n_directions, p))
+    directions = np.vstack([directions, np.eye(p)])
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    return directions
+
+
+def _direction_stack(random_state, n_directions: int, p: int, m: int) -> np.ndarray:
+    """One direction set per grid point, drawn exactly like the naive
+    per-point loop draws them (one :func:`check_random_state` resolution
+    per grid point, in grid order), so an int seed reproduces the naive
+    profile bit-for-bit and a Generator is consumed in the same order."""
+    stack = np.empty((m, n_directions + p, p))
+    for j in range(m):
+        stack[j] = draw_directions(random_state, n_directions, p)
+    return stack
+
+
+def _apply_blocks(worker, group):
+    """Run ``worker`` over a group of blocks (module-level: must pickle)."""
+    return [worker(block) for block in group]
+
+
+def _run_blocks(worker, blocks, context):
+    """Apply ``worker`` to every block, optionally over the context pool.
+
+    Whole blocks are the work units and results come back in input
+    order, so the pooled result is bit-identical to the serial one.
+    """
+    if context is None or getattr(context, "n_jobs", 1) <= 1 or len(blocks) <= 1:
+        return [worker(block) for block in blocks]
+    groups = context.distribute(blocks)
+    parts = context.map(functools.partial(_apply_blocks, worker), groups)
+    return [result for group in parts for result in group]
+
+
+# --------------------------------------------------------------------------- ranks
+def rank_counts(ref_lanes: np.ndarray, pts_lanes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Exact per-lane order statistics of ``pts`` within ``ref``.
+
+    Lanes are rows (axis 0); elements live on the contiguous last axis.
+    For every lane ``c`` and every ``pts_lanes[c, i]`` returns
+
+    * ``le[c, i]`` — ``#{k : ref_lanes[c, k] <= pts_lanes[c, i]}``
+    * ``lt[c, i]`` — ``#{k : ref_lanes[c, k] <  pts_lanes[c, i]}``
+
+    Three integer-exact strategies, picked by tie structure:
+
+    * ``pts_lanes is ref_lanes`` (the ubiquitous self-reference case,
+      where every query ties itself): ranks come from one argsort of
+      the lanes plus tie-run boundaries — half the width of the
+      stacked problem;
+    * clean lanes (no reference value equals a query value): one
+      unstable stacked argsort; a query at sorted position ``k`` with
+      ``i`` queries before it has exactly ``k - i`` reference entries
+      below it, and ``le == lt``, regardless of how the sort ordered
+      ref-ref or query-query ties;
+    * lanes with cross ties (detected via adjacent mixed-group equal
+      pairs — a mixed run always exposes one): re-resolved in a batch
+      with full tie-run arithmetic (:func:`_rank_counts_tied`).
+
+    No stable sort anywhere, and the counts match the naive boolean
+    comparisons bit for bit.  This is what lets halfspace depth drop
+    its per-point comparisons without changing the result.
+    """
+    if pts_lanes is ref_lanes:
+        return _rank_counts_self(ref_lanes)
+    n_lanes, n_ref = ref_lanes.shape
+    n_pts = pts_lanes.shape[1]
+    stacked = np.concatenate([ref_lanes, pts_lanes], axis=1)
+    order = np.argsort(stacked, axis=1)  # quicksort; tie order irrelevant
+    is_pts = order >= n_ref
+    sorted_vals = np.take_along_axis(stacked, order, axis=1)
+    cross_tie = (sorted_vals[:, 1:] == sorted_vals[:, :-1]) & (
+        is_pts[:, 1:] != is_pts[:, :-1]
+    )
+    bad = cross_tie.any(axis=1)
+    positions = np.nonzero(is_pts)[1].reshape(n_lanes, n_pts)
+    original = (order[is_pts] - n_ref).reshape(n_lanes, n_pts)
+    counts = positions - np.arange(n_pts)[None, :]  # #ref sorted before
+    lt = np.empty((n_lanes, n_pts), dtype=np.int64)
+    np.put_along_axis(lt, original, counts, axis=1)
+    le = lt.copy()
+    if bad.any():
+        le[bad], lt[bad] = _rank_counts_tied(ref_lanes[bad], pts_lanes[bad])
+    return le, lt
+
+
+def _run_bounds(sorted_vals: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-element tie-run boundaries ``[start, end)`` of sorted lanes."""
+    n_lanes, total = sorted_vals.shape
+    new_run = np.empty((n_lanes, total), dtype=bool)
+    new_run[:, 0] = True
+    np.not_equal(sorted_vals[:, 1:], sorted_vals[:, :-1], out=new_run[:, 1:])
+    index = np.arange(total, dtype=np.int64)[None, :]
+    run_start = np.maximum.accumulate(np.where(new_run, index, 0), axis=1)
+    # First run start strictly after k: suffix-min of start marks,
+    # shifted one position left.
+    end_mark = np.where(new_run, index, total)
+    suffix_min = np.minimum.accumulate(end_mark[:, ::-1], axis=1)[:, ::-1]
+    run_end = np.concatenate(
+        [suffix_min[:, 1:], np.full((n_lanes, 1), total, dtype=np.int64)], axis=1
+    )
+    return run_start, run_end
+
+
+def _rank_counts_self(lanes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Rank counts of every lane's values within their own lane.
+
+    For a value in tie run ``[s, e)`` of its sorted lane, ``lt = s``
+    and ``le = e`` (the count includes the value itself, exactly as the
+    naive ``reference <= x`` comparison does when ``x`` is a member of
+    the reference).
+    """
+    order = np.argsort(lanes, axis=1)
+    sorted_vals = np.take_along_axis(lanes, order, axis=1)
+    run_start, run_end = _run_bounds(sorted_vals)
+    lt = np.empty(lanes.shape, dtype=np.int64)
+    le = np.empty(lanes.shape, dtype=np.int64)
+    np.put_along_axis(lt, order, run_start, axis=1)
+    np.put_along_axis(le, order, run_end, axis=1)
+    return le, lt
+
+
+def _rank_counts_tied(
+    ref_lanes: np.ndarray, pts_lanes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Full tie-run rank counting for lanes with ref/query value ties.
+
+    For a query in tie run ``[s, e)`` of the sorted stacked lane,
+    ``lt = #ref before s`` and ``le = #ref before e`` (every reference
+    inside the run ties the query) — exact for every tie structure,
+    no stable sort required.
+    """
+    n_lanes, n_ref = ref_lanes.shape
+    n_pts = pts_lanes.shape[1]
+    total = n_ref + n_pts
+    stacked = np.concatenate([ref_lanes, pts_lanes], axis=1)
+    order = np.argsort(stacked, axis=1)
+    is_pts = order >= n_ref
+    sorted_vals = np.take_along_axis(stacked, order, axis=1)
+    # Exclusive prefix count of reference entries: Rc[k] = #ref before k.
+    ref_count = np.zeros((n_lanes, total + 1), dtype=np.int64)
+    np.cumsum(~is_pts, axis=1, out=ref_count[:, 1:])
+    run_start, run_end = _run_bounds(sorted_vals)
+    positions = np.nonzero(is_pts)[1].reshape(n_lanes, n_pts)
+    original = (order[is_pts] - n_ref).reshape(n_lanes, n_pts)
+    lt_sorted = np.take_along_axis(
+        ref_count, np.take_along_axis(run_start, positions, axis=1), axis=1
+    )
+    le_sorted = np.take_along_axis(
+        ref_count, np.take_along_axis(run_end, positions, axis=1), axis=1
+    )
+    lt = np.empty((n_lanes, n_pts), dtype=np.int64)
+    le = np.empty((n_lanes, n_pts), dtype=np.int64)
+    np.put_along_axis(lt, original, lt_sorted, axis=1)
+    np.put_along_axis(le, original, le_sorted, axis=1)
+    return le, lt
+
+
+# --------------------------------------------------------------------------- FUNTA
+def _funta_block(
+    block,
+    values: np.ndarray,
+    ref_values: np.ndarray,
+    theta_pts: np.ndarray,
+    theta_ref: np.ndarray,
+    trim: float,
+    same: bool,
+) -> np.ndarray:
+    """FUNTA depth of one contiguous row block of ``values``."""
+    start, stop = block
+    b = stop - start
+    n_ref = ref_values.shape[0]
+
+    diff = values[start:stop, None, :] - ref_values[None, :, :]  # (b, r, m)
+    pos = diff > 0
+    neg = diff < 0
+    # A crossing lives in interval t when the sign flips or a curve
+    # touches (diff == 0); a touch at the last grid point folds into the
+    # last interval — exactly the interval set the naive loop collects.
+    cross = (pos[:, :, :-1] & neg[:, :, 1:]) | (neg[:, :, :-1] & pos[:, :, 1:])
+    touch = ~(pos | neg)
+    cross |= touch[:, :, :-1]
+    cross[:, :, -1] |= touch[:, :, -1]
+
+    valid = np.ones((b, n_ref), dtype=bool)
+    if same:
+        local = np.arange(b)
+        cross[local, start + local, :] = False
+        valid[local, start + local] = False
+
+    counts = cross.sum(axis=2)  # (b, r) crossings per pair
+    # Angles are only needed at the (sparse) crossings: gather them
+    # instead of materializing the dense (b, r, m-1) angle slab.
+    ib, jb, tb = np.nonzero(cross)
+    angles = np.abs(theta_pts[start + ib, tb] - theta_ref[jb, tb])
+    np.minimum(angles, np.pi - angles, out=angles)
+
+    if trim == 0.0:
+        sums = np.bincount(
+            ib * n_ref + jb, weights=angles, minlength=b * n_ref
+        ).reshape(b, n_ref)
+        # A never-crossing pair contributes one maximal angle (pi/2).
+        eff_counts = np.where(valid, np.where(counts > 0, counts, 1), 0)
+        eff_sums = np.where(valid, np.where(counts > 0, sums, _HALF_PI), 0.0)
+        total_counts = eff_counts.sum(axis=1)
+        total_sums = eff_sums.sum(axis=1)
+        safe = np.maximum(total_counts, 1)
+        depth = np.where(
+            total_counts > 0, 1.0 - (total_sums / safe) / _HALF_PI, 1.0
+        )
+        return np.clip(depth, 0.0, 1.0)
+
+    # Robustified variant: the trimming quantile needs each sample's full
+    # angle multiset, so walk the gathered angles per row (an O(n) loop
+    # over contiguous slices — not the O(n²) pair loop).
+    depth = np.empty(b)
+    bounds = np.searchsorted(ib, np.arange(b + 1))
+    missing_counts = (valid & (counts == 0)).sum(axis=1)
+    for i in range(b):
+        row_angles = angles[bounds[i] : bounds[i + 1]]
+        if missing_counts[i]:
+            row_angles = np.concatenate(
+                [row_angles, np.full(missing_counts[i], _HALF_PI)]
+            )
+        if row_angles.size == 0:
+            depth[i] = 1.0
+            continue
+        cutoff = np.quantile(row_angles, 1.0 - trim)
+        kept = row_angles[row_angles <= cutoff]
+        if kept.size:
+            row_angles = kept
+        depth[i] = 1.0 - float(np.mean(row_angles)) / _HALF_PI
+    return np.clip(depth, 0.0, 1.0)
+
+
+def funta_univariate(
+    values: np.ndarray,
+    ref_values: np.ndarray,
+    grid: np.ndarray,
+    trim: float,
+    same: bool,
+    block_bytes: int | None = None,
+    context=None,
+) -> np.ndarray:
+    """Blocked vectorized FUNTA depth (one parameter).
+
+    Tangent angles are ``arctan``-ed once per curve — O((n + n_ref)·m)
+    — and the crossing detection runs as one broadcast over
+    ``(block × n_ref × m)`` slabs bounded by ``block_bytes``.
+    """
+    block_bytes = resolve_block_bytes(block_bytes)
+    n, m = values.shape
+    dt = np.diff(grid)
+    theta_pts = np.arctan(np.diff(values, axis=1) / dt)
+    theta_ref = np.arctan(np.diff(ref_values, axis=1) / dt)
+    # Scratch per row: one float64 difference slab + four boolean masks.
+    bytes_per_row = ref_values.shape[0] * m * (8 + 4) * 1.3
+    blocks = row_blocks(n, bytes_per_row, block_bytes)
+    worker = functools.partial(
+        _funta_block,
+        values=values,
+        ref_values=ref_values,
+        theta_pts=theta_pts,
+        theta_ref=theta_ref,
+        trim=trim,
+        same=same,
+    )
+    return np.concatenate(_run_blocks(worker, blocks, context))
+
+
+# --------------------------------------------------------------------------- SDO
+def _sdo_1d_columns(pts: np.ndarray, ref: np.ndarray) -> np.ndarray:
+    """|x - med| / MAD per column, with the naive degenerate-MAD guard."""
+    med = np.median(ref, axis=0)
+    mad = MAD_SCALE * np.median(np.abs(ref - med), axis=0)
+    degenerate = mad < 1e-12
+    if degenerate.any():
+        spread = np.std(ref, axis=0)
+        mad = np.where(degenerate, np.where(spread > 1e-12, spread, 1.0), mad)
+    return np.abs(pts - med) / mad
+
+
+def _project_block(cube: np.ndarray, directions: np.ndarray, j0: int, j1: int) -> np.ndarray:
+    """Project a grid-point block onto its directions → ``(J, rows, d)``.
+
+    One batched GEMM per block (samples × directions for every grid
+    point) — this is the op that replaces the per-grid-point Python
+    loop of the naive path.
+    """
+    return np.matmul(
+        cube[:, j0:j1].transpose(1, 0, 2), directions[j0:j1].transpose(0, 2, 1)
+    )
+
+
+def _sdo_block(
+    block,
+    values: np.ndarray,
+    ref_values: np.ndarray,
+    directions: np.ndarray,
+) -> np.ndarray:
+    """Stahel–Donoho outlyingness for one contiguous grid-point block."""
+    j0, j1 = block
+    proj_ref = _project_block(ref_values, directions, j0, j1)  # (J, r, d)
+    # Medians partition along the reference axis: make it contiguous.
+    # The copy is ours, and medians/MAD are selection statistics —
+    # order within a lane is irrelevant — so both medians may partition
+    # in place instead of copying again.
+    ref_lanes = np.ascontiguousarray(proj_ref.transpose(0, 2, 1))  # (J, d, r)
+    med = np.median(ref_lanes, axis=2, overwrite_input=True)  # (J, d)
+    dev = np.abs(ref_lanes - med[:, :, None])
+    mad = MAD_SCALE * np.median(dev, axis=2, overwrite_input=True)
+    degenerate = mad < 1e-12
+    if degenerate.any():
+        spread = np.std(proj_ref, axis=1)  # (J, d)
+        mad = np.where(degenerate, np.where(spread > 1e-12, spread, 1.0), mad)
+    if values is ref_values:
+        proj_pts = proj_ref  # self-scoring: queries are the reference
+    else:
+        proj_pts = _project_block(values, directions, j0, j1)  # (J, n, d)
+    out = np.abs(proj_pts - med[:, None, :]) / mad[:, None, :]
+    return out.max(axis=2).T  # (n, J)
+
+
+def batched_stahel_donoho(
+    values: np.ndarray,
+    ref_values: np.ndarray,
+    n_directions: int = 200,
+    random_state=None,
+    block_bytes: int | None = None,
+    context=None,
+) -> np.ndarray:
+    """SDO of every sample at every grid point → ``(n_samples, n_points)``.
+
+    ``values``/``ref_values`` are ``(n, m, p)`` cubes.  Exact (no random
+    directions) for p = 1; for p > 1 the per-grid-point direction draws
+    replicate the naive loop's generator consumption, so a seeded run
+    matches ``naive=True`` to floating-point roundoff.
+    """
+    block_bytes = resolve_block_bytes(block_bytes)
+    n, m, p = values.shape
+    if p == 1:
+        return _sdo_1d_columns(values[:, :, 0], ref_values[:, :, 0])
+    directions = _direction_stack(random_state, n_directions, p, m)
+    n_dir = directions.shape[1]
+    bytes_per_col = (n + ref_values.shape[0]) * n_dir * 8 * 3.2
+    blocks = row_blocks(m, bytes_per_col, block_bytes)
+    worker = functools.partial(
+        _sdo_block, values=values, ref_values=ref_values, directions=directions
+    )
+    return np.concatenate(_run_blocks(worker, blocks, context), axis=1)
+
+
+# --------------------------------------------------------------------------- halfspace
+def _halfspace_exact_columns(pts: np.ndarray, ref: np.ndarray) -> np.ndarray:
+    """Exact univariate halfspace depth, every column at once.
+
+    One sort of the reference lanes plus two batched binary searches:
+    ``#{ref <= x}`` and ``#{ref >= x}`` are integer-exact, so the result
+    matches the naive boolean-comparison means bit for bit.
+    """
+    n_ref = ref.shape[0]
+    ref_lanes = np.ascontiguousarray(ref.T)  # (m, n_ref)
+    # Preserve object identity so rank_counts can take its self-rank
+    # fast path when the cloud is scored against itself.
+    pts_lanes = ref_lanes if pts is ref else np.ascontiguousarray(pts.T)
+    le, lt = rank_counts(ref_lanes, pts_lanes)
+    return (np.minimum(le, n_ref - lt) / n_ref).T
+
+
+def _halfspace_block(
+    block,
+    values: np.ndarray,
+    ref_values: np.ndarray,
+    directions: np.ndarray,
+) -> np.ndarray:
+    """Random-direction halfspace depth for one grid-point block."""
+    j0, j1 = block
+    n = values.shape[0]
+    n_ref = ref_values.shape[0]
+    n_dir = directions.shape[1]
+    cols = (j1 - j0) * n_dir
+    proj_ref = _project_block(ref_values, directions, j0, j1)  # (J, r, d)
+    ref_lanes = np.ascontiguousarray(proj_ref.transpose(0, 2, 1)).reshape(cols, n_ref)
+    if values is ref_values:
+        pts_lanes = ref_lanes  # identity → self-rank fast path
+    else:
+        proj_pts = _project_block(values, directions, j0, j1)  # (J, n, d)
+        pts_lanes = np.ascontiguousarray(proj_pts.transpose(0, 2, 1)).reshape(cols, n)
+    le, lt = rank_counts(ref_lanes, pts_lanes)
+    tail = (n_ref - lt) / n_ref  # mean(proj_ref >= proj_pt)
+    other = le / n_ref           # mean(proj_ref <= proj_pt)
+    depth = np.minimum(tail, other).reshape(j1 - j0, n_dir, n)
+    return depth.min(axis=1).T  # (n, J)
+
+
+def _halfspace_profile(
+    values: np.ndarray,
+    ref_values: np.ndarray,
+    n_directions: int = 500,
+    random_state=None,
+    block_bytes: int | None = None,
+    context=None,
+) -> np.ndarray:
+    block_bytes = resolve_block_bytes(block_bytes)
+    n, m, p = values.shape
+    if p == 1:
+        pts = values[:, :, 0]
+        ref = pts if values is ref_values else ref_values[:, :, 0]
+        return _halfspace_exact_columns(pts, ref)
+    directions = _direction_stack(random_state, n_directions, p, m)
+    n_dir = directions.shape[1]
+    bytes_per_col = (n + ref_values.shape[0]) * n_dir * 8 * 5.0
+    blocks = row_blocks(m, bytes_per_col, block_bytes)
+    worker = functools.partial(
+        _halfspace_block, values=values, ref_values=ref_values, directions=directions
+    )
+    return np.concatenate(_run_blocks(worker, blocks, context), axis=1)
+
+
+def halfspace_depth_cloud(
+    points: np.ndarray,
+    reference: np.ndarray,
+    directions: np.ndarray,
+    block_bytes: int | None = None,
+) -> np.ndarray:
+    """Random-direction halfspace depth of one cloud, all directions at
+    once (the caller draws ``directions`` so generator consumption
+    matches the naive per-direction loop)."""
+    block_bytes = resolve_block_bytes(block_bytes)
+    n_ref = reference.shape[0]
+    n = points.shape[0]
+    ref_lanes = np.ascontiguousarray((reference @ directions.T).T)  # (D, r)
+    pts_lanes = np.ascontiguousarray((points @ directions.T).T)     # (D, n)
+    depth = np.full(n, np.inf)
+    bytes_per_dir = (n + n_ref) * 8 * 5.0
+    for d0, d1 in row_blocks(directions.shape[0], bytes_per_dir, block_bytes):
+        le, lt = rank_counts(ref_lanes[d0:d1], pts_lanes[d0:d1])
+        tail = (n_ref - lt) / n_ref
+        other = le / n_ref
+        depth = np.minimum(depth, np.minimum(tail, other).min(axis=0))
+    return depth
+
+
+# --------------------------------------------------------------------------- spatial
+def _unit_vector_stats(diffs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sum of unit vectors and contributing count over the reference axis.
+
+    ``diffs`` has the reference on axis 1: ``(..., n_ref, ..., p)`` with
+    shape ``(n, r, J, p)`` (or ``(b, r, p)`` for a single cloud).
+    Zero-distance pairs are dropped, exactly like the naive loop's
+    ``norms > 1e-12`` filter.
+    """
+    sq = diffs[..., 0] ** 2
+    for k in range(1, diffs.shape[-1]):
+        sq += diffs[..., k] ** 2
+    norms = np.sqrt(sq)
+    keep = norms > 1e-12
+    inv = np.zeros_like(norms)
+    np.divide(1.0, norms, out=inv, where=keep)
+    units_sum = np.einsum("nr...,nr...p->n...p", inv, diffs)
+    count = keep.sum(axis=1)
+    return units_sum, count
+
+
+def _spatial_block(block, values: np.ndarray, ref_values: np.ndarray) -> np.ndarray:
+    """Spatial depth for one grid-point block, all samples at once."""
+    j0, j1 = block
+    diffs = values[:, None, j0:j1, :] - ref_values[None, :, j0:j1, :]  # (n, r, J, p)
+    units_sum, count = _unit_vector_stats(diffs)
+    mean_units = units_sum / np.maximum(count, 1)[:, :, None]
+    depth = 1.0 - np.sqrt(np.sum(mean_units * mean_units, axis=2))
+    depth = np.where(count == 0, 1.0, depth)
+    return np.clip(depth, 0.0, 1.0)
+
+
+def _spatial_profile(
+    values: np.ndarray,
+    ref_values: np.ndarray,
+    block_bytes: int | None = None,
+    context=None,
+) -> np.ndarray:
+    block_bytes = resolve_block_bytes(block_bytes)
+    n, m, p = values.shape
+    bytes_per_col = n * ref_values.shape[0] * (p + 2) * 8 * 1.6
+    blocks = row_blocks(m, bytes_per_col, block_bytes)
+    worker = functools.partial(_spatial_block, values=values, ref_values=ref_values)
+    return np.concatenate(_run_blocks(worker, blocks, context), axis=1)
+
+
+def spatial_depth_cloud(
+    points: np.ndarray, reference: np.ndarray, block_bytes: int | None = None
+) -> np.ndarray:
+    """Spatial depth of one cloud, vectorized over all query points."""
+    block_bytes = resolve_block_bytes(block_bytes)
+    n, p = points.shape
+    depth = np.empty(n)
+    bytes_per_row = reference.shape[0] * (p + 2) * 8 * 1.6
+    for i0, i1 in row_blocks(n, bytes_per_row, block_bytes):
+        diffs = points[i0:i1, None, :] - reference[None, :, :]  # (b, r, p)
+        units_sum, count = _unit_vector_stats(diffs)
+        mean_units = units_sum / np.maximum(count, 1)[:, None]
+        block_depth = 1.0 - np.sqrt(np.sum(mean_units * mean_units, axis=1))
+        depth[i0:i1] = np.where(count == 0, 1.0, block_depth)
+    return np.clip(depth, 0.0, 1.0)
+
+
+# --------------------------------------------------------------------------- simplicial
+def simplicial_depth_cloud(
+    points: np.ndarray, reference: np.ndarray, block_bytes: int | None = None
+) -> np.ndarray:
+    """Simplicial depth (p = 2) by blocked orientation-sign counting.
+
+    All C(n, 3) reference triangles are tested against blocks of query
+    points in one broadcast per ``(query-block × triangle-block)`` slab —
+    the same sign test as the naive per-point loop, element for element,
+    so results are identical including boundary and degenerate triangles.
+    """
+    from itertools import combinations
+
+    block_bytes = resolve_block_bytes(block_bytes)
+    n_ref = reference.shape[0]
+    triangles = np.array(list(combinations(range(n_ref), 3)))
+    a = reference[triangles[:, 0]]
+    b = reference[triangles[:, 1]]
+    c = reference[triangles[:, 2]]
+    n_tri = triangles.shape[0]
+    n = points.shape[0]
+    inside_counts = np.zeros(n, dtype=np.int64)
+    # ~8 float64 temporaries of shape (point-block, triangle-block).
+    tri_blocks = row_blocks(n_tri, 8.0, max(block_bytes // 8, 1))
+    for t0, t1 in tri_blocks:
+        at, bt, ct = a[t0:t1], b[t0:t1], c[t0:t1]
+        bytes_per_row = (t1 - t0) * 8 * 8.0
+        for i0, i1 in row_blocks(n, bytes_per_row, block_bytes):
+            x = points[i0:i1, 0][:, None]
+            y = points[i0:i1, 1][:, None]
+            d1 = (x - bt[None, :, 0]) * (at[None, :, 1] - bt[None, :, 1]) - (
+                at[None, :, 0] - bt[None, :, 0]
+            ) * (y - bt[None, :, 1])
+            d2 = (x - ct[None, :, 0]) * (bt[None, :, 1] - ct[None, :, 1]) - (
+                bt[None, :, 0] - ct[None, :, 0]
+            ) * (y - ct[None, :, 1])
+            d3 = (x - at[None, :, 0]) * (ct[None, :, 1] - at[None, :, 1]) - (
+                ct[None, :, 0] - at[None, :, 0]
+            ) * (y - at[None, :, 1])
+            neg = (d1 < 0) | (d2 < 0) | (d3 < 0)
+            pos = (d1 > 0) | (d2 > 0) | (d3 > 0)
+            inside_counts[i0:i1] += (~(neg & pos)).sum(axis=1)
+    return inside_counts / n_tri
+
+
+def _simplicial_block(block, values: np.ndarray, ref_values: np.ndarray, block_bytes: int):
+    j0, j1 = block
+    return np.stack(
+        [
+            simplicial_depth_cloud(values[:, j, :], ref_values[:, j, :], block_bytes)
+            for j in range(j0, j1)
+        ],
+        axis=1,
+    )
+
+
+def _simplicial_profile(
+    values: np.ndarray,
+    ref_values: np.ndarray,
+    block_bytes: int | None = None,
+    context=None,
+) -> np.ndarray:
+    block_bytes = resolve_block_bytes(block_bytes)
+    m = values.shape[1]
+    # Grid points are the fan-out unit; the triangle blocking inside
+    # each point already bounds memory.
+    width = getattr(context, "n_jobs", 1) if context is not None else 1
+    per = max(m // max(width, 1), 1)
+    blocks = [(j, min(j + per, m)) for j in range(0, m, per)]
+    worker = functools.partial(
+        _simplicial_block, values=values, ref_values=ref_values, block_bytes=block_bytes
+    )
+    return np.concatenate(_run_blocks(worker, blocks, context), axis=1)
+
+
+# --------------------------------------------------------------------------- mahalanobis
+def _mahalanobis_profile(values: np.ndarray, ref_values: np.ndarray) -> np.ndarray:
+    """Mahalanobis depth profile: the p×p statistics per grid point are
+    computed exactly as the naive loop computes them (so degenerate
+    pseudo-inverses agree bit-for-bit); the heavy per-sample quadratic
+    forms are batched into one einsum."""
+    n, m, p = values.shape
+    locations = np.empty((m, p))
+    precisions = np.empty((m, p, p))
+    for j in range(m):
+        cloud = ref_values[:, j, :]
+        locations[j] = cloud.mean(axis=0)
+        cov = np.atleast_2d(np.cov(cloud, rowvar=False))
+        cov = cov + 1e-10 * np.trace(cov) / cov.shape[0] * np.eye(cov.shape[0])
+        precisions[j] = np.linalg.pinv(cov)
+    centered = values - locations[None]
+    d_sq = np.einsum("njp,jpq,njq->nj", centered, precisions, centered)
+    return 1.0 / (1.0 + np.maximum(d_sq, 0.0))
+
+
+# --------------------------------------------------------------------------- dispatch
+def pointwise_profile(
+    values: np.ndarray,
+    ref_values: np.ndarray,
+    notion: str,
+    block_bytes: int | None = None,
+    context=None,
+    **depth_kwargs,
+) -> np.ndarray:
+    """Vectorized ``(n_samples, n_points)`` depth profile dispatch.
+
+    ``values``/``ref_values`` are ``(n, m, p)`` cubes sharing a grid.
+    """
+    if notion == "projection":
+        sdo = batched_stahel_donoho(
+            values, ref_values, block_bytes=block_bytes, context=context, **depth_kwargs
+        )
+        return 1.0 / (1.0 + sdo)
+    if notion == "halfspace":
+        return _halfspace_profile(
+            values, ref_values, block_bytes=block_bytes, context=context, **depth_kwargs
+        )
+    if notion == "mahalanobis":
+        return _mahalanobis_profile(values, ref_values, **depth_kwargs)
+    if notion == "spatial":
+        return _spatial_profile(
+            values, ref_values, block_bytes=block_bytes, context=context, **depth_kwargs
+        )
+    if notion == "simplicial":
+        if values.shape[2] != 2:
+            raise ValidationError("simplicial_depth is implemented for p = 2 only")
+        return _simplicial_profile(
+            values, ref_values, block_bytes=block_bytes, context=context, **depth_kwargs
+        )
+    raise ValidationError(f"unknown depth notion {notion!r}")
+
+
+# --------------------------------------------------------------------------- Weiszfeld
+def batched_spatial_median(
+    clouds: np.ndarray, max_iter: int = 128, tol: float = 1e-9
+) -> np.ndarray:
+    """Weiszfeld geometric medians of all grid-point clouds at once.
+
+    ``clouds`` is ``(n_ref, m, p)``; returns ``(m, p)``.  All columns
+    iterate simultaneously; a column freezes as soon as its update step
+    drops below the scale-aware tolerance (the early-exit convergence
+    criterion shared with the naive loop), so the iteration count is
+    driven by the slowest column instead of a fixed ``max_iter``.
+    """
+    n_ref, m, p = clouds.shape
+    median = clouds.mean(axis=0)  # (m, p)
+    active = np.ones(m, dtype=bool)
+    for _ in range(max_iter):
+        if not active.any():
+            break
+        sub = clouds[:, active, :]           # (r, a, p)
+        current = median[active]             # (a, p)
+        diffs = sub - current[None]
+        norms = np.sqrt(np.sum(diffs * diffs, axis=2))  # (r, a)
+        keep = norms > 1e-12
+        any_keep = keep.any(axis=0)
+        weights = np.where(keep, 1.0 / np.where(keep, norms, 1.0), 0.0)
+        wsum = weights.sum(axis=0)
+        new = np.einsum("ra,rap->ap", weights, sub) / np.maximum(wsum, 1e-300)[:, None]
+        # Columns whose cloud collapsed onto the median keep it (the
+        # naive loop returns the current median in that case).
+        new = np.where(any_keep[:, None], new, current)
+        step = np.linalg.norm(new - current, axis=1)
+        scale = 1.0 + np.linalg.norm(current, axis=1)
+        converged = (step < tol * scale) | ~any_keep
+        idx = np.flatnonzero(active)
+        median[idx] = new
+        active[idx[converged]] = False
+    return median
+
+
+def batched_outlyingness_vectors(
+    values: np.ndarray,
+    ref_values: np.ndarray,
+    n_directions: int = 200,
+    random_state=None,
+    block_bytes: int | None = None,
+    context=None,
+    max_iter: int = 128,
+    tol: float = 1e-9,
+) -> np.ndarray:
+    """Directional outlyingness vectors ``O(X_i(t))`` for all (i, t).
+
+    The batched core of Dir.out: one batched SDO sweep, one batched
+    Weiszfeld run for the cross-sectional medians, and a single
+    broadcast for the unit directions — no per-grid-point Python loop.
+    """
+    n, m, p = values.shape
+    sdo = batched_stahel_donoho(
+        values,
+        ref_values,
+        n_directions=n_directions,
+        random_state=random_state,
+        block_bytes=block_bytes,
+        context=context,
+    )
+    if p == 1:
+        centers = np.median(ref_values[:, :, 0], axis=0)[:, None]  # (m, 1)
+    else:
+        centers = batched_spatial_median(ref_values, max_iter=max_iter, tol=tol)
+    diffs = values - centers[None]
+    norms = np.linalg.norm(diffs, axis=2, keepdims=True)
+    units = np.divide(diffs, norms, out=np.zeros_like(diffs), where=norms > 1e-12)
+    return sdo[:, :, None] * units

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.depth import _kernels
 from repro.depth.multivariate import stahel_donoho_outlyingness
 from repro.exceptions import ValidationError
 from repro.fda.fdata import FDataGrid, MFDataGrid
@@ -38,7 +39,15 @@ __all__ = ["DirectionalOutlyingness", "directional_outlyingness", "dirout_scores
 
 
 def _spatial_median(cloud: np.ndarray, max_iter: int = 128, tol: float = 1e-9) -> np.ndarray:
-    """Weiszfeld's algorithm for the geometric median of a point cloud."""
+    """Weiszfeld's algorithm for the geometric median of a point cloud.
+
+    Converges (and exits early) once the update step drops below the
+    scale-aware tolerance ``tol * (1 + |median|)`` — an absolute ``tol``
+    alone never triggers on large-magnitude clouds, silently degrading
+    to the full ``max_iter`` sweep.  The batched kernel
+    (:func:`repro.depth._kernels.batched_spatial_median`) applies the
+    same criterion per grid point.
+    """
     median = cloud.mean(axis=0)
     for _ in range(max_iter):
         diffs = cloud - median
@@ -48,7 +57,7 @@ def _spatial_median(cloud: np.ndarray, max_iter: int = 128, tol: float = 1e-9) -
             return median
         weights = 1.0 / norms[keep]
         new = (cloud[keep] * weights[:, None]).sum(axis=0) / weights.sum()
-        if np.linalg.norm(new - median) < tol:
+        if np.linalg.norm(new - median) < tol * (1.0 + np.linalg.norm(median)):
             return new
         median = new
     return median
@@ -83,6 +92,9 @@ def directional_outlyingness(
     reference: MFDataGrid | FDataGrid | None = None,
     n_directions: int = 200,
     random_state=None,
+    naive: bool = False,
+    block_bytes: int | None = None,
+    context=None,
 ) -> DirectionalOutlyingness:
     """Compute the Dai–Genton (MO, VO, FO) decomposition.
 
@@ -94,6 +106,13 @@ def directional_outlyingness(
         Cross-sectional clouds defining "typical" (default: the data).
     n_directions, random_state:
         Controls for the projection-depth approximation (exact when p=1).
+    naive:
+        ``True`` runs the original per-grid-point loop (the equivalence
+        oracle); the default batches the Stahel–Donoho sweep and the
+        Weiszfeld medians over all grid points at once.
+    block_bytes, context:
+        Kernel scratch budget and optional worker-pool fan-out (see
+        :mod:`repro.depth._kernels`).
     """
     if isinstance(data, FDataGrid):
         data = data.to_multivariate()
@@ -105,21 +124,38 @@ def directional_outlyingness(
         reference = data
     if reference.n_points != data.n_points or not np.allclose(reference.grid, data.grid):
         raise ValidationError("data and reference must share a grid")
+    if reference.n_parameters != data.n_parameters:
+        raise ValidationError(
+            f"data has {data.n_parameters} parameters but reference has "
+            f"{reference.n_parameters}"
+        )
+    if reference.n_samples < 2:
+        raise ValidationError("reference must contain at least 2 samples")
     check_int(n_directions, "n_directions", minimum=1)
 
     n, m, p = data.values.shape
-    out_vectors = np.empty((n, m, p))
-    for j in range(m):
-        cloud = reference.values[:, j, :]
-        pts = data.values[:, j, :]
-        sdo = stahel_donoho_outlyingness(
-            pts, cloud, n_directions=n_directions, random_state=random_state
+    if not naive:
+        out_vectors = _kernels.batched_outlyingness_vectors(
+            data.values,
+            reference.values,
+            n_directions=n_directions,
+            random_state=random_state,
+            block_bytes=block_bytes,
+            context=context,
         )
-        center = _spatial_median(cloud) if p > 1 else np.array([np.median(cloud[:, 0])])
-        diffs = pts - center
-        norms = np.linalg.norm(diffs, axis=1, keepdims=True)
-        units = np.divide(diffs, norms, out=np.zeros_like(diffs), where=norms > 1e-12)
-        out_vectors[:, j, :] = sdo[:, None] * units
+    else:
+        out_vectors = np.empty((n, m, p))
+        for j in range(m):
+            cloud = reference.values[:, j, :]
+            pts = data.values[:, j, :]
+            sdo = stahel_donoho_outlyingness(
+                pts, cloud, n_directions=n_directions, random_state=random_state
+            )
+            center = _spatial_median(cloud) if p > 1 else np.array([np.median(cloud[:, 0])])
+            diffs = pts - center
+            norms = np.linalg.norm(diffs, axis=1, keepdims=True)
+            units = np.divide(diffs, norms, out=np.zeros_like(diffs), where=norms > 1e-12)
+            out_vectors[:, j, :] = sdo[:, None] * units
 
     grid = data.grid
     weights = trapezoid_weights(grid) / (grid[-1] - grid[0])
@@ -136,6 +172,9 @@ def dirout_scores(
     method: str = "total",
     n_directions: int = 200,
     random_state=None,
+    naive: bool = False,
+    block_bytes: int | None = None,
+    context=None,
 ) -> np.ndarray:
     """Dir.out outlyingness scores (higher = more anomalous).
 
@@ -145,7 +184,8 @@ def dirout_scores(
     ``(MO, VO)`` cloud, following Dai & Genton's detection rule.
     """
     decomposition = directional_outlyingness(
-        data, reference, n_directions=n_directions, random_state=random_state
+        data, reference, n_directions=n_directions, random_state=random_state,
+        naive=naive, block_bytes=block_bytes, context=context,
     )
     if method == "total":
         return decomposition.total

@@ -21,6 +21,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.depth import _kernels
 from repro.depth import multivariate as mvdepth
 from repro.exceptions import ValidationError
 from repro.fda.fdata import FDataGrid, MFDataGrid
@@ -43,18 +44,30 @@ _POINTWISE: dict[str, Callable] = {
     "simplicial": mvdepth.simplicial_depth,
 }
 
+#: Notions whose naive implementation itself takes a ``naive`` flag —
+#: the oracle loop pins those to their original per-point code too.
+_LOOPED_NOTIONS = ("halfspace", "spatial", "simplicial")
+
 
 def pointwise_depth_profile(
     data: MFDataGrid,
     reference: MFDataGrid | None = None,
     notion: str = "projection",
+    naive: bool = False,
+    block_bytes: int | None = None,
+    context=None,
     **depth_kwargs,
 ) -> np.ndarray:
     """Depth of every sample at every grid point → ``(n_samples, n_points)``.
 
     At each ``t`` the cross-section ``{X_i(t)}`` of ``reference``
     (default: the data themselves) forms a cloud in R^p and the chosen
-    pointwise depth is evaluated on it.
+    pointwise depth is evaluated on it.  The default path dispatches the
+    whole ``(n_samples × n_points)`` computation to the blocked kernels
+    of :mod:`repro.depth._kernels` (scratch bounded by ``block_bytes``;
+    ``context`` optionally fans blocks out across its worker pool with
+    bit-identical results).  ``naive=True`` runs the original
+    grid-point-by-grid-point loop — the equivalence oracle.
     """
     if not isinstance(data, MFDataGrid):
         raise ValidationError(f"data must be MFDataGrid, got {type(data).__name__}")
@@ -62,11 +75,29 @@ def pointwise_depth_profile(
         reference = data
     if reference.n_points != data.n_points or not np.allclose(reference.grid, data.grid):
         raise ValidationError("data and reference must share a grid")
+    if reference.n_parameters != data.n_parameters:
+        raise ValidationError(
+            f"data has {data.n_parameters} parameters but reference has "
+            f"{reference.n_parameters}"
+        )
+    if reference.n_samples < 2:
+        raise ValidationError("reference must contain at least 2 samples")
     if notion not in _POINTWISE:
         raise ValidationError(
             f"unknown depth notion {notion!r}; choose from {sorted(_POINTWISE)}"
         )
+    if not naive:
+        return _kernels.pointwise_profile(
+            data.values,
+            reference.values,
+            notion,
+            block_bytes=block_bytes,
+            context=context,
+            **depth_kwargs,
+        )
     depth_fn = _POINTWISE[notion]
+    if notion in _LOOPED_NOTIONS:
+        depth_kwargs = {**depth_kwargs, "naive": True}
     profile = np.empty((data.n_samples, data.n_points))
     for j in range(data.n_points):
         cloud = reference.values[:, j, :]
@@ -103,23 +134,37 @@ def functional_depth(
     reference: MFDataGrid | None = None,
     notion: str = "projection",
     aggregation: str = "integral",
+    naive: bool = False,
+    block_bytes: int | None = None,
+    context=None,
     **depth_kwargs,
 ) -> np.ndarray:
     """Sample-level functional depth of MFD (higher = more central)."""
-    profile = pointwise_depth_profile(data, reference, notion, **depth_kwargs)
+    profile = pointwise_depth_profile(
+        data, reference, notion, naive=naive, block_bytes=block_bytes,
+        context=context, **depth_kwargs,
+    )
     ref = data if reference is None else reference
     return aggregate_depth(profile, ref.grid, aggregation)
 
 
 def univariate_integrated_depth(
-    data: FDataGrid, reference: FDataGrid | None = None, aggregation: str = "integral"
+    data: FDataGrid,
+    reference: FDataGrid | None = None,
+    aggregation: str = "integral",
+    naive: bool = False,
+    block_bytes: int | None = None,
+    context=None,
 ) -> np.ndarray:
     """Fraiman–Muniz depth of UFD: integrated univariate halfspace depth."""
     if not isinstance(data, FDataGrid):
         raise ValidationError(f"data must be FDataGrid, got {type(data).__name__}")
     mfd = data.to_multivariate()
     ref = reference.to_multivariate() if reference is not None else None
-    return functional_depth(mfd, ref, notion="halfspace", aggregation=aggregation)
+    return functional_depth(
+        mfd, ref, notion="halfspace", aggregation=aggregation,
+        naive=naive, block_bytes=block_bytes, context=context,
+    )
 
 
 def _check_mbd_inputs(data: FDataGrid, reference: FDataGrid | None) -> np.ndarray:
@@ -135,7 +180,9 @@ def _check_mbd_inputs(data: FDataGrid, reference: FDataGrid | None) -> np.ndarra
     return ref
 
 
-def modified_band_depth(data: FDataGrid, reference: FDataGrid | None = None) -> np.ndarray:
+def modified_band_depth(
+    data: FDataGrid, reference: FDataGrid | None = None, naive: bool = False
+) -> np.ndarray:
     """Modified band depth (J = 2) of univariate functional data.
 
     ``MBD_i`` is the average, over reference-curve pairs ``{j, k}`` and
@@ -148,8 +195,12 @@ def modified_band_depth(data: FDataGrid, reference: FDataGrid | None = None) -> 
     entirely from those strictly above, so with ``b`` references below
     and ``a`` above the covering count is
     ``C(n,2) - C(b,2) - C(a,2)`` — an O(n·m·log n) computation instead
-    of the O(n²·m) pair sweep.
+    of the O(n²·m) pair sweep.  ``naive=True`` runs the explicit pair
+    loop (the equivalence oracle), mirroring the escape hatch on the
+    other depth notions.
     """
+    if naive:
+        return _modified_band_depth_pairwise(data, reference)
     ref = _check_mbd_inputs(data, reference)
     n_ref = ref.shape[0]
     values = data.values

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.depth import _kernels
 from repro.exceptions import ValidationError
 from repro.fda.fdata import FDataGrid, MFDataGrid
 from repro.utils.validation import check_in_range
@@ -106,7 +107,14 @@ def _resolve_pair(data, reference):
     return reference, False
 
 
-def funta_depth(data, reference=None, trim: float = 0.0) -> np.ndarray:
+def funta_depth(
+    data,
+    reference=None,
+    trim: float = 0.0,
+    naive: bool = False,
+    block_bytes: int | None = None,
+    context=None,
+) -> np.ndarray:
     """FUNTA pseudo-depth per sample (higher = more central).
 
     Parameters
@@ -120,21 +128,37 @@ def funta_depth(data, reference=None, trim: float = 0.0) -> np.ndarray:
     trim:
         Robustification: fraction of the *largest* angles discarded per
         sample before averaging (0 = original FUNTA).
+    naive:
+        ``True`` runs the original O(n²·m) pair loop (the equivalence
+        oracle); the default is the blocked broadcast kernel of
+        :mod:`repro.depth._kernels`.
+    block_bytes:
+        Scratch budget per kernel block (default ~64 MB).
+    context:
+        Optional :class:`~repro.engine.ExecutionContext` whose worker
+        pool fans out sample blocks (bit-identical to serial).
     """
     trim = check_in_range(trim, 0.0, 0.5, "trim", inclusive=(True, False))
+
+    def univariate(values, ref_values, grid, same):
+        if naive:
+            return _funta_univariate(values, ref_values, grid, trim, same)
+        return _kernels.funta_univariate(
+            values, ref_values, grid, trim, same,
+            block_bytes=block_bytes, context=context,
+        )
+
     if isinstance(data, FDataGrid):
         ref, same = _resolve_pair(data, reference)
         if ref.n_samples < 2:
             raise ValidationError("funta_depth needs at least 2 reference curves")
-        return _funta_univariate(data.values, ref.values, data.grid, trim, same)
+        return univariate(data.values, ref.values, data.grid, same)
     if isinstance(data, MFDataGrid):
         ref, same = _resolve_pair(data, reference)
         if ref.n_samples < 2:
             raise ValidationError("funta_depth needs at least 2 reference curves")
         per_param = [
-            _funta_univariate(
-                data.values[:, :, k], ref.values[:, :, k], data.grid, trim, same
-            )
+            univariate(data.values[:, :, k], ref.values[:, :, k], data.grid, same)
             for k in range(data.n_parameters)
         ]
         return np.mean(per_param, axis=0)
@@ -143,6 +167,16 @@ def funta_depth(data, reference=None, trim: float = 0.0) -> np.ndarray:
     )
 
 
-def funta_outlyingness(data, reference=None, trim: float = 0.0) -> np.ndarray:
+def funta_outlyingness(
+    data,
+    reference=None,
+    trim: float = 0.0,
+    naive: bool = False,
+    block_bytes: int | None = None,
+    context=None,
+) -> np.ndarray:
     """Outlyingness score ``1 - FUNTA`` (higher = more anomalous)."""
-    return 1.0 - funta_depth(data, reference=reference, trim=trim)
+    return 1.0 - funta_depth(
+        data, reference=reference, trim=trim,
+        naive=naive, block_bytes=block_bytes, context=context,
+    )

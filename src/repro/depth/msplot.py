@@ -63,6 +63,9 @@ def ms_plot(
     alpha: float = 0.993,
     n_directions: int = 200,
     random_state=None,
+    naive: bool = False,
+    block_bytes: int | None = None,
+    context=None,
 ) -> MSPlotResult:
     """Compute MS-plot coordinates, outlier flags and type labels.
 
@@ -75,10 +78,14 @@ def ms_plot(
         high coverage, e.g. 99.3%).
     n_directions, random_state:
         Projection-depth approximation controls.
+    naive, block_bytes, context:
+        Passed through to the batched Dir.out kernels (``naive=True``
+        keeps the original per-grid-point loop).
     """
     alpha = check_in_range(alpha, 0.5, 1.0, "alpha", inclusive=(False, False))
     decomposition = directional_outlyingness(
-        data, reference, n_directions=n_directions, random_state=random_state
+        data, reference, n_directions=n_directions, random_state=random_state,
+        naive=naive, block_bytes=block_bytes, context=context,
     )
     features = np.column_stack([decomposition.mean, decomposition.variation])
     n, d = features.shape
@@ -109,21 +116,17 @@ def ms_plot(
     shape = decomposition.variation
     mag_cut = np.quantile(magnitude[~outlier_mask], 0.9) if (~outlier_mask).any() else 0.0
     shape_cut = np.quantile(shape[~outlier_mask], 0.9) if (~outlier_mask).any() else 0.0
-    types = []
-    for i in range(n):
-        if not outlier_mask[i]:
-            types.append("inlier")
-            continue
-        is_mag = magnitude[i] > mag_cut
-        is_shape = shape[i] > shape_cut
-        if is_mag and is_shape:
-            types.append("mixed")
-        elif is_mag:
-            types.append("magnitude")
-        elif is_shape:
-            types.append("shape")
-        else:
-            types.append("mixed")
+    # Quadrant rule, batched: flagged samples exceeding only the
+    # magnitude (resp. shape) quantile get that label; both or neither
+    # (distance-flagged without a dominant axis) are "mixed".
+    is_mag = magnitude > mag_cut
+    is_shape = shape > shape_cut
+    labels = np.select(
+        [~outlier_mask, is_mag & ~is_shape, is_shape & ~is_mag],
+        ["inlier", "magnitude", "shape"],
+        default="mixed",
+    )
+    types = labels.tolist()
     return MSPlotResult(
         magnitude=magnitude,
         shape=shape,

@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.depth import _kernels
+from repro.depth._kernels import MAD_SCALE as _MAD_SCALE
 from repro.exceptions import ValidationError
-from repro.utils.random import check_random_state
 from repro.utils.validation import check_int, check_matrix
 
 __all__ = [
@@ -35,8 +36,6 @@ __all__ = [
     "spatial_depth",
     "simplicial_depth",
 ]
-
-_MAD_SCALE = 1.4826  # consistency factor for the normal distribution
 
 
 def _check_cloud(points, reference) -> tuple[np.ndarray, np.ndarray]:
@@ -86,10 +85,7 @@ def stahel_donoho_outlyingness(
     if p == 1:
         return _directional_outlyingness_1d(points[:, 0], reference[:, 0])
     n_directions = check_int(n_directions, "n_directions", minimum=1)
-    rng = check_random_state(random_state)
-    directions = rng.standard_normal((n_directions, p))
-    directions = np.vstack([directions, np.eye(p)])
-    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    directions = _kernels.draw_directions(random_state, n_directions, p)
     proj_ref = reference @ directions.T        # (n_ref, n_dir)
     proj_pts = points @ directions.T           # (n_pts, n_dir)
     med = np.median(proj_ref, axis=0)
@@ -108,12 +104,22 @@ def projection_depth(points, reference, n_directions: int = 200, random_state=No
     return 1.0 / (1.0 + sdo)
 
 
-def halfspace_depth(points, reference, n_directions: int = 500, random_state=None) -> np.ndarray:
+def halfspace_depth(
+    points,
+    reference,
+    n_directions: int = 500,
+    random_state=None,
+    naive: bool = False,
+    block_bytes: int | None = None,
+) -> np.ndarray:
     """Tukey halfspace depth, normalized to [0, 1/2].
 
     Exact in one dimension (minimum of the two empirical tail
     fractions); approximated by minimizing over random directions for
     p > 1 (the approximation can only overestimate the true depth).
+    The default path evaluates all directions at once via exact rank
+    counting in ``block_bytes``-bounded blocks; ``naive=True`` keeps
+    the original per-direction loop (the equivalence oracle).
     """
     points, reference = _check_cloud(points, reference)
     n_ref, p = reference.shape
@@ -122,10 +128,11 @@ def halfspace_depth(points, reference, n_directions: int = 500, random_state=Non
         above = (reference[:, 0][None, :] >= points[:, 0][:, None]).mean(axis=1)
         return np.minimum(below, above)
     n_directions = check_int(n_directions, "n_directions", minimum=1)
-    rng = check_random_state(random_state)
-    directions = rng.standard_normal((n_directions, p))
-    directions = np.vstack([directions, np.eye(p)])
-    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    directions = _kernels.draw_directions(random_state, n_directions, p)
+    if not naive:
+        return _kernels.halfspace_depth_cloud(
+            points, reference, directions, block_bytes=block_bytes
+        )
     proj_ref = reference @ directions.T
     proj_pts = points @ directions.T
     depth = np.full(points.shape[0], np.inf)
@@ -136,9 +143,17 @@ def halfspace_depth(points, reference, n_directions: int = 500, random_state=Non
     return depth
 
 
-def spatial_depth(points, reference) -> np.ndarray:
-    """Spatial (L1) depth: ``1 - |E[(x - X)/|x - X|]|``."""
+def spatial_depth(
+    points, reference, naive: bool = False, block_bytes: int | None = None
+) -> np.ndarray:
+    """Spatial (L1) depth: ``1 - |E[(x - X)/|x - X|]|``.
+
+    Vectorized over all query points in ``block_bytes``-bounded blocks;
+    ``naive=True`` keeps the original per-point loop.
+    """
     points, reference = _check_cloud(points, reference)
+    if not naive:
+        return _kernels.spatial_depth_cloud(points, reference, block_bytes=block_bytes)
     depth = np.empty(points.shape[0])
     for i, x in enumerate(points):
         diffs = x[None, :] - reference
@@ -152,12 +167,16 @@ def spatial_depth(points, reference) -> np.ndarray:
     return np.clip(depth, 0.0, 1.0)
 
 
-def simplicial_depth(points, reference) -> np.ndarray:
+def simplicial_depth(
+    points, reference, naive: bool = False, block_bytes: int | None = None
+) -> np.ndarray:
     """Simplicial depth for p = 2: fraction of triangles containing the point.
 
     Exact enumeration over all ``C(n, 3)`` reference triangles via a
     sign test; intended for modest cloud sizes (the functional
-    aggregation calls it once per grid point).
+    aggregation calls it once per grid point).  The default path counts
+    orientation signs for whole (query-block × triangle-block) slabs at
+    once; ``naive=True`` keeps the original per-query-point loop.
     """
     points, reference = _check_cloud(points, reference)
     if reference.shape[1] != 2:
@@ -165,6 +184,8 @@ def simplicial_depth(points, reference) -> np.ndarray:
     n = reference.shape[0]
     if n < 3:
         raise ValidationError("simplicial_depth needs at least 3 reference points")
+    if not naive:
+        return _kernels.simplicial_depth_cloud(points, reference, block_bytes=block_bytes)
     from itertools import combinations
 
     triangles = np.array(list(combinations(range(n), 3)))

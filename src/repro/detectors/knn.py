@@ -56,11 +56,17 @@ class KNNDetector(OutlierDetector):
     def _neighbor_distances(self, X: np.ndarray, exclude_self: bool) -> np.ndarray:
         dists = np.sqrt(pairwise_sq_dists(X, self._train))
         k = self.n_neighbors
+        # Only the k (+1 when dropping the zero self-distance) smallest
+        # entries matter: partition-select them in O(n) per row, then
+        # sort just that prefix.  The selected multiset equals the full
+        # sort's prefix, so kth/mean semantics are bit-identical.
         if exclude_self:
             # When scoring training rows, ignore the zero self-distance.
-            dists = np.sort(dists, axis=1)[:, 1 : k + 1]
+            prefix = np.partition(dists, k, axis=1)[:, : k + 1]
+            dists = np.sort(prefix, axis=1)[:, 1:]
         else:
-            dists = np.sort(dists, axis=1)[:, :k]
+            prefix = np.partition(dists, k - 1, axis=1)[:, :k]
+            dists = np.sort(prefix, axis=1)
         return dists
 
     def _score(self, X: np.ndarray) -> np.ndarray:

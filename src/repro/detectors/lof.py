@@ -24,6 +24,21 @@ from repro.utils.validation import check_int
 __all__ = ["LocalOutlierFactor"]
 
 
+def _k_smallest(dists: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Indices and distances of each row's k nearest columns, ascending.
+
+    ``argpartition`` selects the k smallest in O(n) per row; only that
+    prefix is then sorted — the distance values are identical to a full
+    ``argsort`` prefix.
+    """
+    part = np.argpartition(dists, k - 1, axis=1)[:, :k]
+    prefix = np.take_along_axis(dists, part, axis=1)
+    inner = np.argsort(prefix, axis=1)
+    neighbors = np.take_along_axis(part, inner, axis=1)
+    neighbor_dists = np.take_along_axis(prefix, inner, axis=1)
+    return neighbors, neighbor_dists
+
+
 class LocalOutlierFactor(OutlierDetector):
     """LOF detector supporting out-of-sample scoring.
 
@@ -50,9 +65,7 @@ class LocalOutlierFactor(OutlierDetector):
         k = self.n_neighbors
         dists = np.sqrt(pairwise_sq_dists(X, X))
         np.fill_diagonal(dists, np.inf)
-        order = np.argsort(dists, axis=1)
-        neighbors = order[:, :k]
-        neighbor_dists = np.take_along_axis(dists, neighbors, axis=1)
+        neighbors, neighbor_dists = _k_smallest(dists, k)
         self._k_distance = neighbor_dists[:, -1]
         reach = np.maximum(self._k_distance[neighbors], neighbor_dists)
         self._lrd = 1.0 / np.maximum(reach.mean(axis=1), 1e-12)
@@ -65,9 +78,7 @@ class LocalOutlierFactor(OutlierDetector):
             lrd_query = self._lrd
         else:
             dists = np.sqrt(pairwise_sq_dists(X, self._train))
-            order = np.argsort(dists, axis=1)
-            neighbors = order[:, :k]
-            neighbor_dists = np.take_along_axis(dists, neighbors, axis=1)
+            neighbors, neighbor_dists = _k_smallest(dists, k)
             reach = np.maximum(self._k_distance[neighbors], neighbor_dists)
             lrd_query = 1.0 / np.maximum(reach.mean(axis=1), 1e-12)
         return self._lrd[neighbors].mean(axis=1) / np.maximum(lrd_query, 1e-12)

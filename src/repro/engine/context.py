@@ -115,5 +115,20 @@ class ExecutionContext:
         """Eager :meth:`imap`: apply ``fn`` to every item, preserving order."""
         return list(self.imap(fn, items, n_jobs=n_jobs, initializer=initializer, initargs=initargs))
 
+    def distribute(self, items: Sequence, n_jobs: int | None = None) -> list[list]:
+        """Split ``items`` into at most ``n_jobs`` contiguous, ordered groups.
+
+        Used by the blocked depth kernels to hand *whole* memory blocks
+        to each worker: because every block is computed independently and
+        results are concatenated in input order, the fanned-out result is
+        bit-identical to the serial one while each payload is pickled
+        once per group rather than once per block.
+        """
+        items = list(items)
+        width = self.n_jobs if n_jobs is None else _resolve_n_jobs(n_jobs)
+        width = max(min(width, len(items)), 1)
+        bounds = np.linspace(0, len(items), width + 1).astype(int)
+        return [items[bounds[g] : bounds[g + 1]] for g in range(width) if bounds[g] < bounds[g + 1]]
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ExecutionContext(n_jobs={self.n_jobs}, cache_entries={len(self.cache)})"

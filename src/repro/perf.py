@@ -1,0 +1,265 @@
+"""Machine-readable performance baselines for the depth-kernel layer.
+
+:func:`run_depth_kernel_bench` times every depth kernel of
+:mod:`repro.depth._kernels` against its ``naive=True`` loop oracle
+(plus, optionally, the vectorized path fanned out over an
+:class:`~repro.engine.ExecutionContext` pool) and returns one
+JSON-serializable *record*.  :func:`append_bench_record` maintains the
+persisted perf trajectory — a JSON array of such records, one per
+benchmarked commit — in ``BENCH_depth_kernels.json``, so every future
+PR can be measured against this baseline.
+
+Record schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "bench": "depth_kernels",
+      "git_sha": "<sha or 'unknown'>",
+      "created_unix": <float>,
+      "quick": <bool>,
+      "workload": {"n": ..., "m": ..., "seed": ..., "repeats": ...,
+                   "n_jobs": ..., "gated_kernels": [...]},
+      "results": [
+        {"kernel": "funta", "p": 1, "gated": true,
+         "naive_s": ..., "vectorized_s": ..., "pool_s": ... | null,
+         "speedup": ...},
+        ...
+      ]
+    }
+
+``gated`` marks the kernels whose speedup the CI smoke step asserts
+(vectorized must beat naive); the remaining rows are informational —
+their cost is dominated by work both paths share (e.g. the medians
+inside projection depth), so their ratio hovers near 1 by construction.
+
+Used by ``repro bench-depth`` (CLI) and
+``benchmarks/bench_depth_kernels.py`` (pytest smoke / CI gate).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BENCH_FILENAME",
+    "GATED_KERNELS",
+    "git_sha",
+    "run_depth_kernel_bench",
+    "append_bench_record",
+    "format_bench_rows",
+]
+
+SCHEMA_VERSION = 1
+BENCH_FILENAME = "BENCH_depth_kernels.json"
+
+#: Kernels whose vectorized-vs-naive speedup the CI smoke step asserts.
+GATED_KERNELS = ("funta", "halfspace_p1", "halfspace_p2", "spatial_p2")
+
+
+def git_sha(cwd=None) -> str:
+    """Current commit sha, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, cwd=cwd,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def git_dirty(cwd=None) -> bool:
+    """True when tracked files differ from HEAD (conservatively True on
+    error).  The check is anchored at the repository toplevel — not the
+    caller's cwd — so running the bench from a subdirectory cannot hide
+    modifications elsewhere in the tree.  The perf-trajectory file
+    itself is excluded: appending a record must not mark the very record
+    it appends as dirty."""
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, timeout=10, cwd=cwd,
+        )
+        if top.returncode != 0 or not top.stdout.strip():
+            return True
+        out = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=no",
+             "--", ".", f":(exclude){BENCH_FILENAME}"],
+            capture_output=True, text=True, timeout=10, cwd=top.stdout.strip(),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return True
+    if out.returncode != 0:
+        return True
+    return bool(out.stdout.strip())
+
+
+def _best_time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_depth_kernel_bench(
+    n: int = 200,
+    m: int = 100,
+    seed: int = 7,
+    repeats: int = 2,
+    n_jobs: int = 1,
+    quick: bool = True,
+    block_bytes: int | None = None,
+) -> dict:
+    """Time naive vs vectorized (vs vectorized + pool) depth kernels.
+
+    The workload mirrors the acceptance setting: ``n`` curves on ``m``
+    grid points.  Each row also asserts the two paths agree (to 1e-10,
+    far looser than the property tests — this is a smoke check, the
+    equivalence suite is in ``tests/``), so a silently wrong kernel can
+    never post a fast number.
+    """
+    from repro.depth.funta import funta_outlyingness
+    from repro.depth.functional import pointwise_depth_profile
+    from repro.depth.dirout import dirout_scores
+    from repro.engine import ExecutionContext
+    from repro.fda.fdata import FDataGrid, MFDataGrid
+
+    rng = np.random.default_rng(seed)
+    grid = np.linspace(0.0, 1.0, m)
+    curves = FDataGrid(rng.standard_normal((n, m)).cumsum(axis=1) / 5.0, grid)
+    mfd_p1 = MFDataGrid(curves.values[:, :, None], grid)
+    mfd_p2 = MFDataGrid(rng.standard_normal((n, m, 2)), grid)
+    context = ExecutionContext(n_jobs=n_jobs) if n_jobs > 1 else None
+
+    cases = [
+        # (kernel label, p, naive call, vectorized call factory)
+        ("funta", 1,
+         lambda **kw: funta_outlyingness(curves, block_bytes=block_bytes, **kw)),
+        ("halfspace_p1", 1,
+         lambda **kw: pointwise_depth_profile(
+             mfd_p1, notion="halfspace", block_bytes=block_bytes, **kw)),
+        ("halfspace_p2", 2,
+         lambda **kw: pointwise_depth_profile(
+             mfd_p2, notion="halfspace", random_state=seed,
+             block_bytes=block_bytes, **kw)),
+        ("spatial_p2", 2,
+         lambda **kw: pointwise_depth_profile(
+             mfd_p2, notion="spatial", block_bytes=block_bytes, **kw)),
+        ("projection_p2", 2,
+         lambda **kw: pointwise_depth_profile(
+             mfd_p2, notion="projection", random_state=seed,
+             block_bytes=block_bytes, **kw)),
+        ("dirout_p2", 2,
+         lambda **kw: dirout_scores(
+             mfd_p2, random_state=seed, block_bytes=block_bytes, **kw)),
+    ]
+
+    results = []
+    for kernel, p, call in cases:
+        naive_out = call(naive=True)
+        vec_out = call()
+        np.testing.assert_allclose(vec_out, naive_out, rtol=1e-10, atol=1e-12)
+        naive_s = _best_time(lambda: call(naive=True), repeats)
+        vectorized_s = _best_time(lambda: call(), repeats)
+        pool_s = None
+        if context is not None:
+            pool_out = call(context=context)
+            np.testing.assert_allclose(pool_out, vec_out, rtol=0, atol=0)
+            pool_s = _best_time(lambda: call(context=context), repeats)
+        results.append(
+            {
+                "kernel": kernel,
+                "p": p,
+                "gated": kernel in GATED_KERNELS,
+                "naive_s": round(naive_s, 6),
+                "vectorized_s": round(vectorized_s, 6),
+                "pool_s": round(pool_s, 6) if pool_s is not None else None,
+                "speedup": round(naive_s / max(vectorized_s, 1e-12), 2),
+            }
+        )
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "depth_kernels",
+        "git_sha": git_sha(),
+        "dirty": git_dirty(),
+        "created_unix": round(time.time(), 3),
+        "quick": bool(quick),
+        "workload": {
+            "n": n, "m": m, "seed": seed, "repeats": repeats,
+            "n_jobs": n_jobs, "gated_kernels": list(GATED_KERNELS),
+        },
+        "results": results,
+    }
+
+
+def format_bench_rows(record: dict) -> tuple[list[str], list[list[str]]]:
+    """Table headers + rows for a bench record (shared by CLI and bench).
+
+    The pool column appears only when at least one result actually has a
+    pooled timing, so ``n_jobs=1`` runs print a compact table.
+    """
+    with_pool = any(r["pool_s"] is not None for r in record["results"])
+    headers = ["kernel", "p", "gated", "naive ms", "vectorized ms"]
+    if with_pool:
+        headers.append("pool ms")
+    headers.append("speedup")
+    rows = []
+    for r in record["results"]:
+        row = [
+            r["kernel"],
+            str(r["p"]),
+            "yes" if r["gated"] else "no",
+            f"{r['naive_s'] * 1e3:,.1f}",
+            f"{r['vectorized_s'] * 1e3:,.1f}",
+        ]
+        if with_pool:
+            row.append(f"{r['pool_s'] * 1e3:,.1f}" if r["pool_s"] is not None else "-")
+        row.append(f"{r['speedup']:.1f}x")
+        rows.append(row)
+    return headers, rows
+
+
+def append_bench_record(path, record: dict) -> list:
+    """Append ``record`` to the JSON trajectory at ``path``; returns it.
+
+    The trajectory is a JSON array ordered by insertion.  Re-running on
+    the same commit replaces that commit's record of the same ``quick``
+    and ``dirty`` flavour instead of stacking duplicates, so the
+    trajectory holds one datapoint per (commit, flavour) — and a run
+    from a dirty working tree can never overwrite the clean committed
+    baseline of the same sha (it is recorded separately, flagged
+    ``"dirty": true``).
+    """
+    path = Path(path)
+    trajectory: list = []
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, list):
+                trajectory = loaded
+        except (OSError, json.JSONDecodeError):
+            trajectory = []
+    trajectory = [
+        entry
+        for entry in trajectory
+        if not (
+            isinstance(entry, dict)
+            and entry.get("git_sha") == record.get("git_sha")
+            and entry.get("quick") == record.get("quick")
+            and entry.get("bench") == record.get("bench")
+            and entry.get("dirty") == record.get("dirty")
+        )
+    ]
+    trajectory.append(record)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return trajectory

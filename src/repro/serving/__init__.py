@@ -24,10 +24,11 @@ from repro.serving.persist import (
     load_pipeline,
     save_pipeline,
 )
-from repro.serving.service import ScoreTicket, ScoringService, score_stream
+from repro.serving.service import DepthScorer, ScoreTicket, ScoringService, score_stream
 
 __all__ = [
     "ARRAYS_NAME",
+    "DepthScorer",
     "FORMAT_VERSION",
     "MANIFEST_NAME",
     "ScoreTicket",

@@ -29,6 +29,8 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from repro.core.pipeline import GeometricOutlierPipeline
+from repro.depth.dirout import dirout_scores
+from repro.depth.funta import funta_outlyingness
 from repro.engine import ExecutionContext
 from repro.engine.cache import _grid_key
 from repro.exceptions import NotFittedError, ValidationError
@@ -36,7 +38,7 @@ from repro.fda.fdata import FDataGrid, MFDataGrid, as_mfd
 from repro.serving.persist import load_pipeline
 from repro.utils.validation import check_int
 
-__all__ = ["ScoreTicket", "ScoringService", "score_stream"]
+__all__ = ["DepthScorer", "ScoreTicket", "ScoringService", "score_stream"]
 
 
 def score_stream(
@@ -66,6 +68,101 @@ def score_stream(
     raise ValidationError(
         f"data must be (M)FDataGrid or an iterable of batches, got {type(data).__name__}"
     )
+
+
+class DepthScorer:
+    """A reference-based depth baseline packaged for serving.
+
+    Wraps FUNTA or Dir.out with a fixed reference set so the depth
+    substrate serves traffic through the same :class:`ScoringService`
+    surface as the pipeline detectors: ``score_samples(batch)`` returns
+    outlyingness scores for each incoming curve against the stored
+    reference.  All scoring dispatches to the blocked vectorized
+    kernels of :mod:`repro.depth._kernels`; when the scorer is
+    registered with a service, it adopts the service's
+    :class:`~repro.engine.ExecutionContext`, so ``n_jobs > 1`` fans
+    kernel blocks across the worker pool (bit-identical results).
+
+    Parameters
+    ----------
+    kind:
+        ``"funta"`` or ``"dirout"``.
+    reference:
+        (M)FDataGrid of reference curves ("typical" traffic).
+    block_bytes:
+        Kernel scratch budget per block (default ~64 MB).
+    context:
+        Optional execution context; inherited from the owning service
+        when omitted.
+    options:
+        Extra scoring options (``trim`` for FUNTA; ``method``,
+        ``n_directions``, ``random_state`` for Dir.out).
+    """
+
+    _KINDS = ("funta", "dirout")
+    _ALLOWED_OPTIONS = {
+        "funta": frozenset({"trim"}),
+        "dirout": frozenset({"method", "n_directions", "random_state"}),
+    }
+
+    def __init__(self, kind: str, reference, block_bytes: int | None = None,
+                 context: ExecutionContext | None = None, **options):
+        if kind not in self._KINDS:
+            raise ValidationError(f"kind must be one of {self._KINDS}, got {kind!r}")
+        if context is not None and not isinstance(context, ExecutionContext):
+            raise ValidationError(
+                f"context must be an ExecutionContext, got {type(context).__name__}"
+            )
+        unknown = set(options) - self._ALLOWED_OPTIONS[kind]
+        if unknown:
+            raise ValidationError(
+                f"unknown options for kind {kind!r}: {sorted(unknown)}; "
+                f"allowed: {sorted(self._ALLOWED_OPTIONS[kind])}"
+            )
+        if kind == "dirout" and options.get("method", "total") != "total":
+            # The mahalanobis detection rule fits its location/scatter on
+            # the batch being scored, so a curve's score would depend on
+            # which other curves share a merged flush group — breaking
+            # the service's per-curve micro-batching invariant.  Only
+            # the per-curve "total" score is servable.
+            raise ValidationError(
+                "DepthScorer('dirout') supports method='total' only: "
+                f"got {options['method']!r} (batch-dependent scores cannot "
+                "be served through the micro-batching queue)"
+            )
+        self.kind = kind
+        self.reference = as_mfd(reference)
+        if self.reference.n_samples < 2:
+            raise ValidationError("DepthScorer needs at least 2 reference curves")
+        self.block_bytes = block_bytes
+        self.context = context
+        self.options = options
+
+    def score_samples(self, data) -> np.ndarray:
+        """Outlyingness of each curve in ``data`` w.r.t. the reference."""
+        mfd = as_mfd(data)
+        if self.kind == "funta":
+            return funta_outlyingness(
+                mfd,
+                reference=self.reference,
+                trim=self.options.get("trim", 0.0),
+                block_bytes=self.block_bytes,
+                context=self.context,
+            )
+        return dirout_scores(
+            mfd,
+            reference=self.reference,
+            method=self.options.get("method", "total"),
+            n_directions=self.options.get("n_directions", 200),
+            random_state=self.options.get("random_state", 0),
+            block_bytes=self.block_bytes,
+            context=self.context,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DepthScorer({self.kind!r}, n_reference={self.reference.n_samples})"
+        )
 
 
 class ScoreTicket:
@@ -132,13 +229,25 @@ class ScoringService:
         self.flushes = 0
 
     # ------------------------------------------------------------------ registry
-    def register(self, name: str, pipeline: GeometricOutlierPipeline) -> None:
-        """Attach an already-fitted in-memory pipeline under ``name``."""
+    def register(self, name: str, pipeline) -> None:
+        """Attach an already-fitted in-memory scorer under ``name``.
+
+        Accepts a fitted :class:`GeometricOutlierPipeline` or a
+        :class:`DepthScorer`; a depth scorer without its own context
+        adopts this service's, so its kernel fan-out shares the
+        service's worker pool.
+        """
         if not isinstance(name, str) or not name:
             raise ValidationError(f"pipeline name must be a non-empty string, got {name!r}")
+        if isinstance(pipeline, DepthScorer):
+            if pipeline.context is None:
+                pipeline.context = self.context
+            self._pipelines[name] = pipeline
+            return
         if not isinstance(pipeline, GeometricOutlierPipeline):
             raise ValidationError(
-                f"pipeline must be a GeometricOutlierPipeline, got {type(pipeline).__name__}"
+                "pipeline must be a GeometricOutlierPipeline or DepthScorer, "
+                f"got {type(pipeline).__name__}"
             )
         if not pipeline._fitted:
             raise NotFittedError("cannot register an unfitted pipeline")

@@ -7,7 +7,14 @@ from scipy import linalg as sla
 
 from repro.exceptions import ValidationError
 
-__all__ = ["PSDSolver", "solve_psd", "symmetrize", "safe_inverse_sqrt", "pairwise_sq_dists"]
+__all__ = [
+    "PSDSolver",
+    "solve_psd",
+    "symmetrize",
+    "safe_inverse_sqrt",
+    "pairwise_sq_dists",
+    "row_blocks",
+]
 
 
 def symmetrize(matrix: np.ndarray) -> np.ndarray:
@@ -71,6 +78,25 @@ def safe_inverse_sqrt(values: np.ndarray, floor: float = 1e-12) -> np.ndarray:
     """Elementwise ``1/sqrt(values)`` with a floor guarding against division by zero."""
     values = np.asarray(values, dtype=np.float64)
     return 1.0 / np.sqrt(np.maximum(values, floor))
+
+
+def row_blocks(
+    n_rows: int, bytes_per_row: float, block_bytes: int, minimum: int = 1
+) -> list[tuple[int, int]]:
+    """Partition ``range(n_rows)`` into contiguous ``(start, stop)`` blocks.
+
+    Each block's scratch footprint, ``rows * bytes_per_row``, stays at or
+    below ``block_bytes`` (but never fewer than ``minimum`` rows per
+    block, so a single huge row still gets processed).  The memory
+    governor of the blocked depth kernels (:mod:`repro.depth._kernels`).
+    """
+    if n_rows <= 0:
+        return []
+    if block_bytes <= 0:
+        raise ValidationError(f"block_bytes must be positive, got {block_bytes}")
+    rows = int(block_bytes // max(bytes_per_row, 1.0))
+    rows = max(rows, minimum)
+    return [(start, min(start + rows, n_rows)) for start in range(0, n_rows, rows)]
 
 
 def pairwise_sq_dists(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:

@@ -1,0 +1,240 @@
+"""Property tests: blocked vectorized depth kernels ≡ naive loop oracles.
+
+Every public depth function keeps its original loop implementation
+reachable via ``naive=True``; these tests pin the vectorized kernels to
+that oracle at ``rtol=1e-12`` across depth notions, parameter counts
+p ∈ {1, 2, 3}, block sizes (including blocks smaller than the sample
+count), and degenerate inputs (ties, duplicated curves, constant
+curves, curves that never cross).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.depth import multivariate as mvdepth
+from repro.depth._kernels import rank_counts
+from repro.depth.dirout import directional_outlyingness
+from repro.depth.functional import modified_band_depth, pointwise_depth_profile
+from repro.depth.funta import funta_depth
+from repro.fda.fdata import FDataGrid, MFDataGrid
+
+COMMON = settings(max_examples=12, deadline=None)
+
+RTOL = 1e-12
+ATOL = 1e-12
+
+#: Tiny scratch budgets force several blocks even on tiny inputs
+#: (including blocks smaller than the sample count).
+BLOCK_SIZES = (None, 40_000, 3_000)
+
+
+def _cube(seed: int, n: int, m: int, p: int, degenerate: int) -> np.ndarray:
+    """Random (n, m, p) cube; ``degenerate`` selects a pathology."""
+    rng = np.random.default_rng(seed)
+    cube = rng.standard_normal((n, m, p))
+    if degenerate == 1:  # heavy value ties
+        cube = np.round(cube, 0)
+    elif degenerate == 2:  # duplicated samples
+        cube[n // 2 :] = cube[: n - n // 2]
+    elif degenerate == 3:  # constant curves (zero spread cross-sections)
+        cube[:] = 1.5
+    return cube
+
+
+class TestRankCounts:
+    @COMMON
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=2, max_value=25),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=2),
+    )
+    def test_matches_searchsorted(self, seed, lanes, n_ref, n_pts, round_to):
+        """Integer-exact per-lane order statistics, any tie structure."""
+        rng = np.random.default_rng(seed)
+        ref = np.round(rng.standard_normal((lanes, n_ref)), round_to)
+        pts = np.round(rng.standard_normal((lanes, n_pts)), round_to)
+        if seed % 3 == 0:  # force cross ties
+            pts[:, : min(n_pts, n_ref)] = ref[:, : min(n_pts, n_ref)]
+        le, lt = rank_counts(ref, pts)
+        for j in range(lanes):
+            lane = np.sort(ref[j])
+            np.testing.assert_array_equal(le[j], lane.searchsorted(pts[j], "right"))
+            np.testing.assert_array_equal(lt[j], lane.searchsorted(pts[j], "left"))
+
+    @COMMON
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=2, max_value=25),
+    )
+    def test_self_path(self, seed, lanes, n_ref):
+        """The identity fast path equals scoring the lanes as queries."""
+        rng = np.random.default_rng(seed)
+        ref = np.round(rng.standard_normal((lanes, n_ref)), 1)
+        le_self, lt_self = rank_counts(ref, ref)
+        le, lt = rank_counts(ref, ref.copy())  # distinct object → general path
+        np.testing.assert_array_equal(le_self, le)
+        np.testing.assert_array_equal(lt_self, lt)
+
+
+class TestFuntaEquivalence:
+    @COMMON
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=3, max_value=15),
+        st.integers(min_value=5, max_value=30),
+        st.sampled_from([0.0, 0.1, 0.3]),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_self_scoring(self, seed, n, m, trim, degenerate):
+        values = _cube(seed, n, m, 1, degenerate)[:, :, 0]
+        data = FDataGrid(values, np.linspace(0.0, 1.0, m))
+        expected = funta_depth(data, trim=trim, naive=True)
+        for block_bytes in BLOCK_SIZES:
+            got = funta_depth(data, trim=trim, block_bytes=block_bytes)
+            np.testing.assert_allclose(got, expected, rtol=RTOL, atol=ATOL)
+
+    @COMMON
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_reference_scoring_multivariate(self, seed, p, degenerate):
+        grid = np.linspace(0.0, 1.0, 20)
+        data = MFDataGrid(_cube(seed, 6, 20, p, degenerate), grid)
+        ref = MFDataGrid(_cube(seed + 1, 8, 20, p, degenerate), grid)
+        expected = funta_depth(data, reference=ref, naive=True)
+        got = funta_depth(data, reference=ref, block_bytes=2_000)
+        np.testing.assert_allclose(got, expected, rtol=RTOL, atol=ATOL)
+
+    def test_never_crossing_curves(self):
+        """Isolated-level curves hit the pi/2 no-crossing contribution."""
+        grid = np.linspace(0.0, 1.0, 25)
+        values = np.vstack(
+            [grid - 0.5, 1.02 * (grid - 0.5), np.full(25, 50.0), np.full(25, -50.0)]
+        )
+        data = FDataGrid(values, grid)
+        np.testing.assert_allclose(
+            funta_depth(data), funta_depth(data, naive=True), rtol=RTOL, atol=ATOL
+        )
+
+
+class TestProfileEquivalence:
+    @COMMON
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=3),
+        st.sampled_from(["projection", "halfspace", "mahalanobis", "spatial"]),
+        st.integers(min_value=0, max_value=3),
+        st.booleans(),
+    )
+    def test_all_notions(self, seed, p, notion, degenerate, with_reference):
+        grid = np.linspace(0.0, 1.0, 12)
+        data = MFDataGrid(_cube(seed, 8, 12, p, degenerate), grid)
+        reference = (
+            MFDataGrid(_cube(seed + 7, 9, 12, p, degenerate), grid)
+            if with_reference
+            else None
+        )
+        kwargs = (
+            {"random_state": seed % 100}
+            if notion in ("projection", "halfspace")
+            else {}
+        )
+        expected = pointwise_depth_profile(
+            data, reference=reference, notion=notion, naive=True, **kwargs
+        )
+        for block_bytes in BLOCK_SIZES:
+            got = pointwise_depth_profile(
+                data, reference=reference, notion=notion,
+                block_bytes=block_bytes, **kwargs,
+            )
+            np.testing.assert_allclose(got, expected, rtol=RTOL, atol=ATOL)
+
+    @COMMON
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=2),
+    )
+    def test_simplicial(self, seed, degenerate):
+        grid = np.linspace(0.0, 1.0, 6)
+        data = MFDataGrid(_cube(seed, 9, 6, 2, degenerate), grid)
+        expected = pointwise_depth_profile(data, notion="simplicial", naive=True)
+        got = pointwise_depth_profile(data, notion="simplicial", block_bytes=3_000)
+        np.testing.assert_allclose(got, expected, rtol=RTOL, atol=ATOL)
+
+
+class TestCloudEquivalence:
+    @COMMON
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=1),
+    )
+    def test_halfspace_and_spatial(self, seed, p, round_to):
+        rng = np.random.default_rng(seed)
+        points = np.round(rng.standard_normal((12, p)), round_to + 1)
+        reference = np.round(rng.standard_normal((15, p)), round_to + 1)
+        np.testing.assert_allclose(
+            mvdepth.halfspace_depth(points, reference, random_state=seed % 50),
+            mvdepth.halfspace_depth(
+                points, reference, random_state=seed % 50, naive=True
+            ),
+            rtol=RTOL, atol=ATOL,
+        )
+        np.testing.assert_allclose(
+            mvdepth.spatial_depth(points, reference, block_bytes=2_000),
+            mvdepth.spatial_depth(points, reference, naive=True),
+            rtol=RTOL, atol=ATOL,
+        )
+
+    @COMMON
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_simplicial_with_collinear_points(self, seed):
+        rng = np.random.default_rng(seed)
+        reference = np.round(rng.standard_normal((10, 2)), 1)
+        reference[3] = reference[0]  # duplicate → degenerate triangles
+        reference[4] = 0.5 * (reference[0] + reference[1])  # collinear
+        points = np.vstack([reference[:4], np.round(rng.standard_normal((4, 2)), 1)])
+        np.testing.assert_allclose(
+            mvdepth.simplicial_depth(points, reference, block_bytes=1_000),
+            mvdepth.simplicial_depth(points, reference, naive=True),
+            rtol=RTOL, atol=ATOL,
+        )
+
+
+class TestDiroutAndBandDepth:
+    @COMMON
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=2),
+    )
+    def test_dirout_decomposition(self, seed, p, degenerate):
+        grid = np.linspace(0.0, 1.0, 15)
+        data = MFDataGrid(_cube(seed, 9, 15, p, degenerate), grid)
+        naive = directional_outlyingness(data, random_state=seed % 100, naive=True)
+        batched = directional_outlyingness(data, random_state=seed % 100)
+        np.testing.assert_allclose(batched.mean, naive.mean, rtol=RTOL, atol=ATOL)
+        np.testing.assert_allclose(
+            batched.variation, naive.variation, rtol=RTOL, atol=ATOL
+        )
+        np.testing.assert_allclose(batched.total, naive.total, rtol=RTOL, atol=ATOL)
+
+    @COMMON
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=2),
+    )
+    def test_modified_band_depth_oracle(self, seed, degenerate):
+        values = _cube(seed, 8, 18, 1, degenerate)[:, :, 0]
+        data = FDataGrid(values, np.linspace(0.0, 1.0, 18))
+        np.testing.assert_allclose(
+            modified_band_depth(data),
+            modified_band_depth(data, naive=True),
+            rtol=RTOL, atol=ATOL,
+        )
