@@ -8,7 +8,9 @@ Usage::
     python -m repro taxonomy
     python -m repro all --reps 15
     python -m repro serve-score --pipeline model_dir --data batch.npz
+    python -m repro stream-score --data stream.npz --kind funta --window 128
     python -m repro bench-depth --n 200 --m 100 --n-jobs 2
+    python -m repro bench-stream --window 128 --arrivals 200
 
 Each figure subcommand prints the same rows/series as the corresponding
 bench in ``benchmarks/`` (the benches additionally assert the expected
@@ -16,7 +18,11 @@ shape and time the computation).  ``serve-score`` is the inference
 entry point: it loads a pipeline persisted by
 :func:`repro.serving.save_pipeline` and scores a curve batch stored as
 an ``.npz`` with ``values`` (n, m) or (n, m, p) and ``grid`` (m,)
-arrays, streaming in bounded-memory chunks.
+arrays, streaming in bounded-memory chunks.  ``stream-score`` is the
+*online* counterpart: curves are treated as an unbounded stream, scored
+chunk by chunk against an evolving reference window with an adaptive
+threshold and drift monitoring (curves consumed during warm-up get NaN
+scores).
 
 ``main`` returns 0 on success and 2 on operational errors (missing or
 corrupt files, invalid data), printing the reason to stderr.
@@ -212,6 +218,102 @@ def run_serve_score(args) -> None:
     )
 
 
+def run_stream_score(args) -> None:
+    """stream-score: online detection over a chunked curve stream."""
+    from repro.serving.service import iter_curve_chunks
+    from repro.streaming import (
+        DepthRankDrift,
+        ReservoirWindow,
+        SlidingWindow,
+        StreamingDetector,
+        make_threshold,
+    )
+
+    data = _load_batch_npz(args.data)
+    if args.policy == "sliding":
+        window = SlidingWindow(args.window)
+    else:
+        window = ReservoirWindow(args.window, random_state=args.seed)
+    threshold = make_threshold(
+        args.contamination, mode=args.threshold_mode, capacity=max(args.window, 2)
+    )
+    drift = DepthRankDrift(
+        baseline_size=args.drift_baseline,
+        recent_size=args.drift_recent,
+        alpha=args.alpha,
+    )
+    detector = StreamingDetector(
+        args.kind,
+        window,
+        threshold=threshold,
+        drift=drift,
+        min_reference=args.min_reference,
+        on_drift="rereference" if args.policy == "reservoir" else "adapt",
+    )
+    scores = []
+    flags = []
+    for chunk in iter_curve_chunks(data, chunk_size=args.chunk_size):
+        result = detector.process(chunk)
+        if result.scores is None:
+            scores.append(np.full(chunk.n_samples, np.nan))
+            flags.append(np.zeros(chunk.n_samples, dtype=bool))
+        else:
+            scores.append(result.scores)
+            flags.append(
+                result.flags
+                if result.flags is not None
+                else np.zeros(chunk.n_samples, dtype=bool)
+            )
+    scores = np.concatenate(scores)
+    flags = np.concatenate(flags)
+    if args.output:
+        np.savez_compressed(args.output, scores=scores, flags=flags)
+    stats = detector.stats()
+    events = detector.drift_events
+    scored = scores[~np.isnan(scores)]
+    _print_table(
+        "stream-score",
+        ["quantity", "value"],
+        [
+            ["kind / policy", f"{args.kind} / {args.policy}"],
+            ["curves seen", str(stats["n_seen"])],
+            ["curves scored", str(stats["n_scored"])],
+            ["flagged outliers", str(stats["n_flagged"])],
+            ["reference size", str(stats["n_reference"])],
+            ["drift events", " ".join(str(e.n_seen) for e in events) or "none"],
+            ["score min/mean/max",
+             f"{scored.min():.4f} / {scored.mean():.4f} / {scored.max():.4f}"
+             if scored.size else "(all warm-up)"],
+            ["incremental", str(stats["incremental"])],
+            ["output", str(args.output) if args.output else "(stdout only)"],
+        ],
+    )
+
+
+def run_bench_stream(args) -> None:
+    """bench-stream: time incremental vs refit streaming, persist record."""
+    from repro.perf import append_bench_record, format_streaming_rows, run_streaming_bench
+
+    record = run_streaming_bench(
+        window=args.window,
+        m=args.m,
+        arrivals=args.arrivals,
+        seed=args.seed,
+        repeats=args.repeats,
+        quick=args.quick,
+    )
+    headers, rows = format_streaming_rows(record)
+    _print_table(
+        f"Streaming — window={args.window}, m={args.m}, "
+        f"arrivals={args.arrivals}, git {record['git_sha'][:12]}",
+        headers,
+        rows,
+    )
+    if args.output:
+        trajectory = append_bench_record(args.output, record)
+        print(f"\nperf trajectory: {args.output} ({len(trajectory)} records)")
+
+
 COMMANDS = {
     "fig1": run_fig1,
     "fig2": run_fig2,
@@ -260,6 +362,56 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output", default="BENCH_depth_kernels.json",
                        help="perf-trajectory JSON to append to "
                             "('' = print only)")
+    stream_bench = subparsers.add_parser(
+        "bench-stream",
+        help="time incremental streaming updates vs naive refit per arrival; "
+             "append the machine-readable record to the perf trajectory")
+    stream_bench.add_argument("--window", type=int, default=128,
+                              help="reference window capacity")
+    stream_bench.add_argument("--m", type=int, default=100, help="grid points per curve")
+    stream_bench.add_argument("--arrivals", type=int, default=200,
+                              help="single-curve arrivals timed after the prime")
+    stream_bench.add_argument("--seed", type=int, default=7, help="workload random seed")
+    stream_bench.add_argument("--repeats", type=int, default=2,
+                              help="timing repetitions (best-of)")
+    stream_bench.add_argument("--quick", action="store_true",
+                              help="mark the record as a quick-mode datapoint")
+    stream_bench.add_argument("--output", default="BENCH_streaming.json",
+                              help="perf-trajectory JSON to append to ('' = print only)")
+    stream = subparsers.add_parser(
+        "stream-score",
+        help="online detection over a curve stream (evolving reference, "
+             "adaptive threshold, drift monitor)")
+    stream.add_argument("--data", required=True,
+                        help=".npz with 'values' (n, m[, p]) and 'grid' (m,) arrays, "
+                             "consumed in stream order")
+    stream.add_argument("--kind", default="funta",
+                        choices=("funta", "dirout", "halfspace"),
+                        help="streaming scorer kind")
+    stream.add_argument("--window", type=int, default=128,
+                        help="reference window capacity")
+    stream.add_argument("--policy", default="sliding",
+                        choices=("sliding", "reservoir"),
+                        help="reference maintenance policy")
+    stream.add_argument("--chunk-size", type=int, default=64,
+                        help="curves per processed chunk")
+    stream.add_argument("--min-reference", type=int, default=16,
+                        help="warm-up size before scoring starts")
+    stream.add_argument("--contamination", type=float, default=0.05,
+                        help="expected outlier fraction (threshold quantile)")
+    stream.add_argument("--threshold-mode", default="window",
+                        choices=("window", "p2"),
+                        help="exact ring-buffer quantile or O(1)-memory P2")
+    stream.add_argument("--drift-baseline", type=int, default=128,
+                        help="baseline scores for the KS drift monitor")
+    stream.add_argument("--drift-recent", type=int, default=64,
+                        help="rolling recent scores compared against the baseline")
+    stream.add_argument("--alpha", type=float, default=0.01,
+                        help="KS test level for drift checks")
+    stream.add_argument("--seed", type=int, default=7,
+                        help="reservoir eviction seed")
+    stream.add_argument("--output", default=None,
+                        help="optional .npz path for scores + flags")
     serve = subparsers.add_parser(
         "serve-score", help="score a curve batch with a persisted pipeline")
     serve.add_argument("--pipeline", required=True,
@@ -283,8 +435,12 @@ def main(argv=None) -> int:
                 COMMANDS[name](args)
         elif args.command == "serve-score":
             run_serve_score(args)
+        elif args.command == "stream-score":
+            run_stream_score(args)
         elif args.command == "bench-depth":
             run_bench_depth(args)
+        elif args.command == "bench-stream":
+            run_bench_stream(args)
         else:
             COMMANDS[args.command](args)
     except (ReproError, OSError) as exc:

@@ -6,6 +6,7 @@ from repro.data.noise import smooth_gaussian_process, white_noise
 from repro.data.synthetic import (
     OUTLIER_CLASSES,
     SyntheticMFD,
+    make_drifting_stream,
     make_fig1_dataset,
     make_taxonomy_dataset,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "OUTLIER_CLASSES",
     "SyntheticMFD",
     "derivative_augment",
+    "make_drifting_stream",
     "make_ecg_dataset",
     "make_fig1_dataset",
     "make_taxonomy_dataset",

@@ -32,7 +32,13 @@ from repro.fda.fdata import MFDataGrid
 from repro.utils.random import check_random_state
 from repro.utils.validation import check_in_range, check_int
 
-__all__ = ["OUTLIER_CLASSES", "SyntheticMFD", "make_taxonomy_dataset", "make_fig1_dataset"]
+__all__ = [
+    "OUTLIER_CLASSES",
+    "SyntheticMFD",
+    "make_taxonomy_dataset",
+    "make_fig1_dataset",
+    "make_drifting_stream",
+]
 
 OUTLIER_CLASSES = (
     "magnitude_isolated",
@@ -173,6 +179,79 @@ def make_taxonomy_dataset(
     values = np.concatenate([inliers, outliers], axis=0)
     labels = np.concatenate([np.zeros(n_inliers, dtype=int), np.ones(n_outliers, dtype=int)])
     return MFDataGrid(values, factory.grid), labels
+
+
+def make_drifting_stream(
+    n_chunks: int = 40,
+    chunk_size: int = 16,
+    n_points: int = 64,
+    drift_at: int | None = None,
+    drift_ramp: int = 5,
+    drift_phase: float = 0.7,
+    drift_scale: float = 1.25,
+    burst_at: tuple = (),
+    burst_size: int = 4,
+    burst_kind: str = "shape_persistent",
+    random_state=None,
+):
+    """Generator of (chunk, labels) pairs with injected drift and bursts.
+
+    The streaming test-bed: a lazily generated bivariate MFD stream of
+    ``n_chunks`` chunks of ``chunk_size`` curves each.
+
+    * **Drift** — from chunk ``drift_at`` (default: halfway) the inlier
+      process itself changes, ramping linearly over ``drift_ramp``
+      chunks to a phase offset ``drift_phase`` and an amplitude factor
+      ``drift_scale``.  Post-drift inliers are *not* outliers — they
+      are the new normal, which is exactly what a fixed-reference
+      detector gets wrong and a drift-aware one must adapt to.
+    * **Outlier bursts** — each chunk index in ``burst_at`` carries
+      ``burst_size`` genuine outliers of taxonomy class ``burst_kind``
+      (labelled 1), drawn from the *current* (possibly drifted) regime
+      so they stay outliers relative to their own chunk's population.
+
+    Yields ``(MFDataGrid, labels)`` per chunk; labels mark only the
+    injected bursts (drifted inliers stay 0).  Fully reproducible under
+    an int ``random_state``.
+    """
+    n_chunks = check_int(n_chunks, "n_chunks", minimum=1)
+    chunk_size = check_int(chunk_size, "chunk_size", minimum=1)
+    drift_ramp = check_int(drift_ramp, "drift_ramp", minimum=1)
+    burst_size = check_int(burst_size, "burst_size", minimum=1)
+    if burst_kind not in OUTLIER_CLASSES:
+        raise ValidationError(
+            f"unknown outlier class {burst_kind!r}; choose from {OUTLIER_CLASSES}"
+        )
+    burst_at = frozenset(int(i) for i in burst_at)
+    if drift_at is None:
+        drift_at = n_chunks // 2
+    drift_at = check_int(drift_at, "drift_at", minimum=0)
+    factory = SyntheticMFD(n_points=n_points, random_state=random_state)
+    rng = factory._rng
+
+    def generate():
+        for chunk in range(n_chunks):
+            level = min(max(chunk - drift_at + 1, 0) / drift_ramp, 1.0)
+            phase_offset = level * drift_phase
+            scale = 1.0 + level * (drift_scale - 1.0)
+            n_outliers = burst_size if chunk in burst_at else 0
+            n_outliers = min(n_outliers, chunk_size)
+            values = np.empty((chunk_size, factory.n_points, 2))
+            labels = np.zeros(chunk_size, dtype=int)
+            for i in range(chunk_size):
+                if i < chunk_size - n_outliers:
+                    phase = rng.uniform(-0.15, 0.15) + phase_offset
+                    x1, x2 = factory._base_pair(rng, phase=phase)
+                    x1, x2 = scale * x1, scale * x2
+                else:
+                    x1, x2 = factory._outlier_pair(burst_kind, rng)
+                    x1, x2 = scale * x1, scale * x2
+                    labels[i] = 1
+                values[i, :, 0] = factory._disturb(x1, rng)
+                values[i, :, 1] = factory._disturb(x2, rng)
+            yield MFDataGrid(values, factory.grid), labels
+
+    return generate()
 
 
 def make_fig1_dataset(random_state=0) -> tuple[MFDataGrid, np.ndarray]:

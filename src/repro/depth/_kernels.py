@@ -328,18 +328,30 @@ def funta_univariate(
     same: bool,
     block_bytes: int | None = None,
     context=None,
+    theta_pts: np.ndarray | None = None,
+    theta_ref: np.ndarray | None = None,
 ) -> np.ndarray:
     """Blocked vectorized FUNTA depth (one parameter).
 
     Tangent angles are ``arctan``-ed once per curve — O((n + n_ref)·m)
     — and the crossing detection runs as one broadcast over
     ``(block × n_ref × m)`` slabs bounded by ``block_bytes``.
+
+    ``theta_pts`` / ``theta_ref`` optionally inject precomputed tangent
+    angles (``arctan(diff(curves) / diff(grid))``, per curve).  The
+    streaming layer maintains the reference angles incrementally in a
+    ring buffer, so per-arrival scoring skips the O(n_ref·m) reference
+    ``arctan`` entirely; because the cached values are produced by the
+    identical elementwise computation, injection is bit-identical to
+    recomputing.
     """
     block_bytes = resolve_block_bytes(block_bytes)
     n, m = values.shape
     dt = np.diff(grid)
-    theta_pts = np.arctan(np.diff(values, axis=1) / dt)
-    theta_ref = np.arctan(np.diff(ref_values, axis=1) / dt)
+    if theta_pts is None:
+        theta_pts = np.arctan(np.diff(values, axis=1) / dt)
+    if theta_ref is None:
+        theta_ref = np.arctan(np.diff(ref_values, axis=1) / dt)
     # Scratch per row: one float64 difference slab + four boolean masks.
     bytes_per_row = ref_values.shape[0] * m * (8 + 4) * 1.3
     blocks = row_blocks(n, bytes_per_row, block_bytes)

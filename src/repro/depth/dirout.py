@@ -35,7 +35,12 @@ from repro.fda.fdata import FDataGrid, MFDataGrid
 from repro.fda.quadrature import trapezoid_weights
 from repro.utils.validation import check_int
 
-__all__ = ["DirectionalOutlyingness", "directional_outlyingness", "dirout_scores"]
+__all__ = [
+    "DirectionalOutlyingness",
+    "summarize_outlyingness",
+    "directional_outlyingness",
+    "dirout_scores",
+]
 
 
 def _spatial_median(cloud: np.ndarray, max_iter: int = 128, tol: float = 1e-9) -> np.ndarray:
@@ -85,6 +90,23 @@ class DirectionalOutlyingness:
     def mean_magnitude(self) -> np.ndarray:
         """``|MO|`` per sample — the magnitude (isolated-type) component."""
         return np.linalg.norm(self.mean, axis=1)
+
+
+def summarize_outlyingness(out_vectors: np.ndarray, grid: np.ndarray) -> DirectionalOutlyingness:
+    """Integrate pointwise outlyingness vectors into (MO, VO, FO).
+
+    ``out_vectors`` is the ``(n, m, p)`` field ``O(X_i(t))``; the
+    quadrature is the shared trapezoid rule normalized by the domain
+    length.  Factored out so the batch path and the streaming scorer
+    (which rebuilds ``O`` from incrementally maintained reference
+    statistics) aggregate through one bit-identical code path.
+    """
+    weights = trapezoid_weights(grid) / (grid[-1] - grid[0])
+    mean = np.tensordot(out_vectors, weights, axes=(1, 0))  # (n, p)
+    centered = out_vectors - mean[:, None, :]
+    variation = np.tensordot(np.sum(centered**2, axis=2), weights, axes=(1, 0))
+    total = np.sum(mean**2, axis=1) + variation
+    return DirectionalOutlyingness(mean=mean, variation=variation, total=total)
 
 
 def directional_outlyingness(
@@ -157,13 +179,7 @@ def directional_outlyingness(
             units = np.divide(diffs, norms, out=np.zeros_like(diffs), where=norms > 1e-12)
             out_vectors[:, j, :] = sdo[:, None] * units
 
-    grid = data.grid
-    weights = trapezoid_weights(grid) / (grid[-1] - grid[0])
-    mean = np.tensordot(out_vectors, weights, axes=(1, 0))  # (n, p)
-    centered = out_vectors - mean[:, None, :]
-    variation = np.tensordot(np.sum(centered**2, axis=2), weights, axes=(1, 0))
-    total = np.sum(mean**2, axis=1) + variation
-    return DirectionalOutlyingness(mean=mean, variation=variation, total=total)
+    return summarize_outlyingness(out_vectors, data.grid)
 
 
 def dirout_scores(

@@ -48,11 +48,15 @@ import numpy as np
 __all__ = [
     "SCHEMA_VERSION",
     "BENCH_FILENAME",
+    "STREAM_BENCH_FILENAME",
     "GATED_KERNELS",
+    "GATED_STREAM_CASES",
     "git_sha",
     "run_depth_kernel_bench",
+    "run_streaming_bench",
     "append_bench_record",
     "format_bench_rows",
+    "format_streaming_rows",
 ]
 
 SCHEMA_VERSION = 1
@@ -79,9 +83,9 @@ def git_dirty(cwd=None) -> bool:
     """True when tracked files differ from HEAD (conservatively True on
     error).  The check is anchored at the repository toplevel — not the
     caller's cwd — so running the bench from a subdirectory cannot hide
-    modifications elsewhere in the tree.  The perf-trajectory file
-    itself is excluded: appending a record must not mark the very record
-    it appends as dirty."""
+    modifications elsewhere in the tree.  The perf-trajectory files
+    themselves are excluded: appending a record must not mark the very
+    record it appends as dirty."""
     try:
         top = subprocess.run(
             ["git", "rev-parse", "--show-toplevel"],
@@ -91,7 +95,8 @@ def git_dirty(cwd=None) -> bool:
             return True
         out = subprocess.run(
             ["git", "status", "--porcelain", "--untracked-files=no",
-             "--", ".", f":(exclude){BENCH_FILENAME}"],
+             "--", ".", f":(exclude){BENCH_FILENAME}",
+             f":(exclude){STREAM_BENCH_FILENAME}"],
             capture_output=True, text=True, timeout=10, cwd=top.stdout.strip(),
         )
     except (OSError, subprocess.TimeoutExpired):
@@ -263,3 +268,125 @@ def append_bench_record(path, record: dict) -> list:
     trajectory.append(record)
     path.write_text(json.dumps(trajectory, indent=2) + "\n")
     return trajectory
+
+
+# --------------------------------------------------------------------------- streaming
+STREAM_BENCH_FILENAME = "BENCH_streaming.json"
+
+#: Streaming cases whose incremental-vs-refit speedup the CI gate asserts.
+GATED_STREAM_CASES = ("funta_p1", "funta_p2", "dirout_p1", "halfspace_p1")
+
+
+def run_streaming_bench(
+    window: int = 128,
+    m: int = 100,
+    arrivals: int = 200,
+    seed: int = 7,
+    repeats: int = 2,
+    quick: bool = True,
+    block_bytes: int | None = None,
+) -> dict:
+    """Time per-arrival incremental scoring vs naive refit-from-scratch.
+
+    Each case primes a sliding window with ``window`` curves and then
+    pushes ``arrivals`` single-curve batches through
+    :meth:`~repro.streaming.StreamingDetector.process` — the canonical
+    worst case for a streaming system, where every arrival both scores
+    and mutates the reference.  The *incremental* detector refreshes its
+    cached reference statistics (tangent-angle ring, sorted lanes) from
+    the window update; the *naive* detector (``incremental=False``)
+    rebuilds them from the full window on every arrival via the batch
+    entry points.  Both paths share the window machinery and produce
+    identical scores (asserted here before timing, so a wrong cache can
+    never post a fast number); the record schema mirrors
+    ``BENCH_depth_kernels.json`` (``schema_version`` 1, git sha,
+    per-case rows).
+    """
+    from repro.fda.fdata import MFDataGrid
+    from repro.streaming import SlidingWindow, StreamingDetector
+
+    rng = np.random.default_rng(seed)
+    grid = np.linspace(0.0, 1.0, m)
+
+    cases = [
+        ("funta_p1", 1, "funta"),
+        ("funta_p2", 2, "funta"),
+        ("dirout_p1", 1, "dirout"),
+        ("halfspace_p1", 1, "halfspace"),
+    ]
+
+    results = []
+    for label, p, kind in cases:
+        prime_values = rng.standard_normal((window, m, p)).cumsum(axis=1) / 5.0
+        stream_values = rng.standard_normal((arrivals, m, p)).cumsum(axis=1) / 5.0
+        prime_mfd = MFDataGrid(prime_values, grid)
+        chunks = [MFDataGrid(stream_values[i : i + 1], grid) for i in range(arrivals)]
+
+        def run(incremental: bool) -> np.ndarray:
+            detector = StreamingDetector(
+                kind,
+                SlidingWindow(window),
+                min_reference=2,
+                incremental=incremental,
+                block_bytes=block_bytes,
+            )
+            detector.prime(prime_mfd)
+            collected = [detector.process(chunk).scores for chunk in chunks]
+            return np.concatenate(collected)
+
+        incremental_scores = run(True)
+        naive_scores = run(False)
+        np.testing.assert_allclose(
+            incremental_scores, naive_scores, rtol=1e-12, atol=0.0
+        )
+        incremental_s = _best_time(lambda: run(True), repeats)
+        naive_s = _best_time(lambda: run(False), repeats)
+        results.append(
+            {
+                "case": label,
+                "p": p,
+                "kind": kind,
+                "gated": label in GATED_STREAM_CASES,
+                "naive_s": round(naive_s, 6),
+                "incremental_s": round(incremental_s, 6),
+                "curves_per_s": round(arrivals / max(incremental_s, 1e-12), 1),
+                "speedup": round(naive_s / max(incremental_s, 1e-12), 2),
+            }
+        )
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "streaming",
+        "git_sha": git_sha(),
+        "dirty": git_dirty(),
+        "created_unix": round(time.time(), 3),
+        "quick": bool(quick),
+        "workload": {
+            "window": window, "m": m, "arrivals": arrivals, "seed": seed,
+            "repeats": repeats, "gated_cases": list(GATED_STREAM_CASES),
+        },
+        "results": results,
+    }
+
+
+def format_streaming_rows(record: dict) -> tuple[list[str], list[list[str]]]:
+    """Table headers + rows for a streaming bench record."""
+    headers = [
+        "case", "p", "gated", "refit ms/curve", "incremental ms/curve",
+        "curves/s", "speedup",
+    ]
+    arrivals = record["workload"]["arrivals"]
+    rows = []
+    for r in record["results"]:
+        rows.append(
+            [
+                r["case"],
+                str(r["p"]),
+                "yes" if r["gated"] else "no",
+                f"{r['naive_s'] / arrivals * 1e3:,.2f}",
+                f"{r['incremental_s'] / arrivals * 1e3:,.2f}",
+                f"{r['curves_per_s']:,.0f}",
+                f"{r['speedup']:.1f}x",
+            ]
+        )
+    return headers, rows

@@ -24,7 +24,13 @@ from repro.serving.persist import (
     load_pipeline,
     save_pipeline,
 )
-from repro.serving.service import DepthScorer, ScoreTicket, ScoringService, score_stream
+from repro.serving.service import (
+    DepthScorer,
+    ScoreTicket,
+    ScoringService,
+    iter_curve_chunks,
+    score_stream,
+)
 
 __all__ = [
     "ARRAYS_NAME",
@@ -33,6 +39,7 @@ __all__ = [
     "MANIFEST_NAME",
     "ScoreTicket",
     "ScoringService",
+    "iter_curve_chunks",
     "load_pipeline",
     "save_pipeline",
     "score_stream",

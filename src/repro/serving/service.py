@@ -20,6 +20,13 @@ Two traffic shapes are supported on top of direct :meth:`~ScoringService.score`:
   instead of once per request;
 * **streaming** — :func:`score_stream` walks a large dataset in
   bounded-size chunks, never materializing the full feature matrix.
+
+Beyond fixed-reference traffic, a registered
+:class:`~repro.streaming.StreamingDetector` serves *online* routes:
+:meth:`ScoringService.stream` feeds chunks through the detector's full
+process step (score → adaptive threshold → drift check → window
+update), so the same service hosts both batch pipelines and evolving-
+reference streams.
 """
 
 from __future__ import annotations
@@ -36,9 +43,46 @@ from repro.engine.cache import _grid_key
 from repro.exceptions import NotFittedError, ValidationError
 from repro.fda.fdata import FDataGrid, MFDataGrid, as_mfd
 from repro.serving.persist import load_pipeline
+from repro.streaming.online import StreamBatchResult, StreamingDetector
 from repro.utils.validation import check_int
 
-__all__ = ["DepthScorer", "ScoreTicket", "ScoringService", "score_stream"]
+__all__ = [
+    "DepthScorer",
+    "ScoreTicket",
+    "ScoringService",
+    "iter_curve_chunks",
+    "score_stream",
+]
+
+
+def iter_curve_chunks(data, chunk_size: int = 256) -> Iterator[MFDataGrid]:
+    """Normalize any stream source into bounded-size MFDataGrid chunks.
+
+    ``data`` may be a single (M)FDataGrid (sliced ``chunk_size`` curves
+    at a time) or any iterable/iterator/generator of (M)FDataGrid
+    batches — true stream sources are consumed lazily, one batch at a
+    time, never materialized.  The shared front door of every chunked
+    scoring path (:func:`score_stream`, the service streaming routes,
+    ``repro stream-score``).
+    """
+    chunk_size = check_int(chunk_size, "chunk_size", minimum=1)
+    if isinstance(data, (FDataGrid, MFDataGrid)):
+        mfd = as_mfd(data)
+        for start in range(0, mfd.n_samples, chunk_size):
+            yield mfd[start : start + chunk_size]
+        return
+    if isinstance(data, np.ndarray):
+        raise ValidationError(
+            "raw arrays are ambiguous stream sources; wrap them in an "
+            "(M)FDataGrid (values + grid) first"
+        )
+    if isinstance(data, Iterable):
+        for batch in data:
+            yield as_mfd(batch)
+        return
+    raise ValidationError(
+        f"data must be (M)FDataGrid or an iterable of batches, got {type(data).__name__}"
+    )
 
 
 def score_stream(
@@ -49,25 +93,15 @@ def score_stream(
     """Yield outlyingness scores for ``data`` in bounded-memory chunks.
 
     ``data`` is either a single (M)FDataGrid — scored ``chunk_size``
-    curves at a time — or an iterable of (M)FDataGrid batches, each
-    scored as it arrives.  Peak memory is bounded by one chunk's feature
+    curves at a time — or an iterator/generator of (M)FDataGrid
+    batches, each scored as it arrives (lazily: a true stream source is
+    never materialized).  Peak memory is bounded by one chunk's feature
     matrix regardless of the dataset size; concatenating the yielded
     arrays reproduces ``pipeline.score_samples(data)`` exactly, because
     both smoothing and detection are per-curve operations.
     """
-    chunk_size = check_int(chunk_size, "chunk_size", minimum=1)
-    if isinstance(data, (FDataGrid, MFDataGrid)):
-        mfd = as_mfd(data)
-        for start in range(0, mfd.n_samples, chunk_size):
-            yield pipeline.score_samples(mfd[start : start + chunk_size])
-        return
-    if isinstance(data, Iterable):
-        for batch in data:
-            yield pipeline.score_samples(as_mfd(batch))
-        return
-    raise ValidationError(
-        f"data must be (M)FDataGrid or an iterable of batches, got {type(data).__name__}"
-    )
+    for chunk in iter_curve_chunks(data, chunk_size=chunk_size):
+        yield pipeline.score_samples(chunk)
 
 
 class DepthScorer:
@@ -232,22 +266,26 @@ class ScoringService:
     def register(self, name: str, pipeline) -> None:
         """Attach an already-fitted in-memory scorer under ``name``.
 
-        Accepts a fitted :class:`GeometricOutlierPipeline` or a
-        :class:`DepthScorer`; a depth scorer without its own context
-        adopts this service's, so its kernel fan-out shares the
-        service's worker pool.
+        Accepts a fitted :class:`GeometricOutlierPipeline`, a
+        :class:`DepthScorer` or a
+        :class:`~repro.streaming.StreamingDetector`; a scorer without
+        its own context adopts this service's, so its kernel fan-out
+        shares the service's worker pool.  Streaming detectors are
+        stateful: they serve through :meth:`stream` /
+        :meth:`score_stream` (and stateless :meth:`score`), never
+        through the micro-batching queue.
         """
         if not isinstance(name, str) or not name:
             raise ValidationError(f"pipeline name must be a non-empty string, got {name!r}")
-        if isinstance(pipeline, DepthScorer):
+        if isinstance(pipeline, (DepthScorer, StreamingDetector)):
             if pipeline.context is None:
                 pipeline.context = self.context
             self._pipelines[name] = pipeline
             return
         if not isinstance(pipeline, GeometricOutlierPipeline):
             raise ValidationError(
-                "pipeline must be a GeometricOutlierPipeline or DepthScorer, "
-                f"got {type(pipeline).__name__}"
+                "pipeline must be a GeometricOutlierPipeline, DepthScorer or "
+                f"StreamingDetector, got {type(pipeline).__name__}"
             )
         if not pipeline._fitted:
             raise NotFittedError("cannot register an unfitted pipeline")
@@ -291,7 +329,13 @@ class ScoringService:
         automatically once ``max_pending`` curves are queued).
         """
         mfd = as_mfd(data)
-        self._pipeline(name)  # fail fast on unknown names
+        pipeline = self._pipeline(name)  # fail fast on unknown names
+        if isinstance(pipeline, StreamingDetector):
+            raise ValidationError(
+                f"pipeline {name!r} is a StreamingDetector; its scoring is "
+                "stateful (window updates are order-dependent), so it cannot "
+                "join the micro-batching queue — use stream() or score()"
+            )
         ticket = ScoreTicket(name, mfd.n_samples)
         group_key = (name, _grid_key(mfd.grid), mfd.n_parameters)
         self._queue.append((group_key, mfd, ticket))
@@ -345,9 +389,48 @@ class ScoringService:
         self.flushes += 1
         return len(queue)
 
+    def stream(self, name: str, data, chunk_size: int = 256) -> Iterator[StreamBatchResult]:
+        """Online route: feed chunks through streaming detector ``name``.
+
+        Each chunk runs the detector's full
+        :meth:`~repro.streaming.StreamingDetector.process` step — score
+        against the current reference, update the adaptive threshold,
+        check for drift, ingest into the window — and the per-chunk
+        :class:`~repro.streaming.StreamBatchResult` is yielded (warm-up
+        chunks come back with ``scores=None``).
+        """
+        detector = self._pipeline(name)
+        if not isinstance(detector, StreamingDetector):
+            raise ValidationError(
+                f"pipeline {name!r} is not a StreamingDetector; "
+                "use score_stream() for fixed-reference chunked scoring"
+            )
+        for chunk in iter_curve_chunks(data, chunk_size=chunk_size):
+            result = detector.process(chunk)
+            self.served_curves += chunk.n_samples
+            self.served_requests += 1
+            yield result
+
     def score_stream(self, name: str, data, chunk_size: int = 256) -> Iterator[np.ndarray]:
-        """Stream scores for a large dataset through pipeline ``name``."""
+        """Stream scores for a large dataset through pipeline ``name``.
+
+        For a registered :class:`~repro.streaming.StreamingDetector`
+        this is the online route of :meth:`stream` reduced to its score
+        arrays; curves consumed during the detector's warm-up have no
+        score yet and come back as ``NaN`` so the concatenated output
+        still aligns one-to-one with the input curves.
+        """
         pipeline = self._pipeline(name)
+        if isinstance(pipeline, StreamingDetector):
+            for chunk in iter_curve_chunks(data, chunk_size=chunk_size):
+                result = pipeline.process(chunk)
+                self.served_curves += chunk.n_samples
+                self.served_requests += 1
+                if result.scores is None:
+                    yield np.full(chunk.n_samples, np.nan)
+                else:
+                    yield result.scores
+            return
         for scores in score_stream(pipeline, data, chunk_size=chunk_size):
             self.served_curves += scores.shape[0]
             self.served_requests += 1

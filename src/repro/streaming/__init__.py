@@ -1,0 +1,57 @@
+"""Streaming detection: online reference maintenance, incremental
+scoring, drift-aware thresholds.
+
+The batch stack fixes its reference sample up front; this package
+scores *unbounded* curve streams whose reference population evolves:
+
+* :mod:`repro.streaming.window` — sliding-window and reservoir-sampling
+  reference maintainers over one preallocated ring buffer, with seeded
+  reproducible eviction;
+* :mod:`repro.streaming.online` — :class:`StreamingDetector`, scoring
+  each arrival against the current window through the vectorized depth
+  kernels (FUNTA, Dir.out, halfspace profiles) or the fitted-pipeline
+  feature path, with reference statistics refreshed incrementally on
+  insert/evict instead of refit from scratch;
+* :mod:`repro.streaming.calibrate` — streaming quantile thresholds
+  (exact ring-buffer window, shared with the batch
+  :func:`~repro.detectors.threshold.threshold_from_quantile`, plus the
+  O(1)-memory P² approximation);
+* :mod:`repro.streaming.drift` — a depth-rank Kolmogorov–Smirnov drift
+  monitor emitting re-reference events.
+
+``repro stream-score`` exposes the subsystem from the CLI, and
+:class:`~repro.serving.service.ScoringService` serves registered
+streaming detectors next to batch pipelines.
+"""
+
+from repro.streaming.calibrate import (
+    P2Quantile,
+    P2QuantileThreshold,
+    StreamingQuantileThreshold,
+    make_threshold,
+)
+from repro.streaming.drift import DepthRankDrift, DriftEvent, ks_two_sample
+from repro.streaming.online import STREAM_KINDS, StreamBatchResult, StreamingDetector
+from repro.streaming.window import (
+    ReferenceWindow,
+    ReservoirWindow,
+    SlidingWindow,
+    WindowUpdate,
+)
+
+__all__ = [
+    "STREAM_KINDS",
+    "DepthRankDrift",
+    "DriftEvent",
+    "P2Quantile",
+    "P2QuantileThreshold",
+    "ReferenceWindow",
+    "ReservoirWindow",
+    "SlidingWindow",
+    "StreamBatchResult",
+    "StreamingDetector",
+    "StreamingQuantileThreshold",
+    "WindowUpdate",
+    "ks_two_sample",
+    "make_threshold",
+]

@@ -1,0 +1,199 @@
+"""Drift-aware online thresholds for unbounded score streams.
+
+Two quantile trackers back the streaming decision boundary:
+
+* :class:`~repro.detectors.threshold.StreamingQuantileThreshold`
+  (re-exported here) — the *exact* tracker: a ring buffer of the last
+  ``capacity`` scores whose quantile is re-read after every update.
+  Memory is O(capacity); the threshold reflects exactly the trailing
+  window, so it forgets old regimes at the window rate.
+* :class:`P2Quantile` / :class:`P2QuantileThreshold` — the Jain &
+  Chlamtac P² algorithm: five markers track the target quantile with
+  O(1) memory over the *whole* stream, no buffer at all.  The estimate
+  is approximate (parabolic interpolation between markers) but
+  converges on stationary streams; use it when even a score ring is too
+  much state, or when the threshold should average over the full
+  history rather than a trailing window.
+
+Both expose the same ``update(scores) -> float`` / ``value`` /
+``ready`` / ``reset()`` surface, which is the threshold contract
+:class:`~repro.streaming.online.StreamingDetector` consumes;
+:func:`make_threshold` builds either flavour from a config string.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.threshold import LearnedThreshold, StreamingQuantileThreshold
+from repro.exceptions import ValidationError
+from repro.utils.validation import as_float_array, check_in_range, check_int
+
+__all__ = [
+    "StreamingQuantileThreshold",
+    "P2Quantile",
+    "P2QuantileThreshold",
+    "make_threshold",
+]
+
+
+class P2Quantile:
+    """P² single-quantile estimator (Jain & Chlamtac 1985), O(1) memory.
+
+    Five markers hold (estimated) heights at the min, the q/2, q,
+    (1+q)/2 quantiles and the max; every observation shifts the marker
+    positions and adjusts heights by piecewise-parabolic (falling back
+    to linear) interpolation.  Until five observations arrive the
+    estimate is exact (order statistic of the seen values).
+    """
+
+    def __init__(self, q: float):
+        self.q = check_in_range(q, 0.0, 1.0, "q", inclusive=(False, False))
+        self.n_seen = 0
+        self._heights = np.empty(5)
+        # Marker positions (1-indexed as in the paper) and their targets.
+        self._positions = np.arange(1.0, 6.0)
+        self._desired = np.array([1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0])
+        self._increments = np.array([0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0])
+
+    @property
+    def ready(self) -> bool:
+        return self.n_seen >= 1
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate (exact until 5 observations)."""
+        if self.n_seen == 0:
+            raise ValidationError("P2Quantile has seen no observations")
+        if self.n_seen < 5:
+            # Exact small-sample quantile over the sorted prefix.
+            return float(np.quantile(np.sort(self._heights[: self.n_seen]), self.q))
+        return float(self._heights[2])
+
+    def update(self, values) -> float:
+        values = np.atleast_1d(as_float_array(values, "values")).ravel()
+        for x in values:
+            self._update_one(float(x))
+        return self.value
+
+    def reset(self) -> None:
+        self.n_seen = 0
+        self._positions = np.arange(1.0, 6.0)
+        self._desired = np.array(
+            [1.0, 1.0 + 2.0 * self.q, 1.0 + 4.0 * self.q, 3.0 + 2.0 * self.q, 5.0]
+        )
+
+    # ------------------------------------------------------------------ internals
+    def _update_one(self, x: float) -> None:
+        if self.n_seen < 5:
+            self._heights[self.n_seen] = x
+            self.n_seen += 1
+            if self.n_seen == 5:
+                self._heights.sort()
+            return
+        self.n_seen += 1
+        h = self._heights
+        if x < h[0]:
+            h[0] = x
+            cell = 0
+        elif x >= h[4]:
+            h[4] = x
+            cell = 3
+        else:
+            cell = int(np.searchsorted(h, x, side="right")) - 1
+            cell = min(max(cell, 0), 3)
+        self._positions[cell + 1 :] += 1.0
+        self._desired += self._increments
+        # Adjust the three interior markers toward their desired positions.
+        for i in (1, 2, 3):
+            d = self._desired[i] - self._positions[i]
+            if (d >= 1.0 and self._positions[i + 1] - self._positions[i] > 1.0) or (
+                d <= -1.0 and self._positions[i - 1] - self._positions[i] < -1.0
+            ):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, step)
+                self._positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        p, h = self._positions, self._heights
+        term1 = (p[i] - p[i - 1] + step) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+        term2 = (p[i + 1] - p[i] - step) * (h[i] - h[i - 1]) / (p[i] - p[i - 1])
+        return h[i] + step / (p[i + 1] - p[i - 1]) * (term1 + term2)
+
+    def _linear(self, i: int, step: float) -> float:
+        p, h = self._positions, self._heights
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (p[j] - p[i])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"P2Quantile(q={self.q}, n_seen={self.n_seen})"
+
+
+class P2QuantileThreshold:
+    """Bounded-memory threshold: P² tracking of ``1 - contamination``.
+
+    The O(1)-state sibling of
+    :class:`~repro.detectors.threshold.StreamingQuantileThreshold` with
+    the same surface, so detectors can swap trackers freely.
+    """
+
+    def __init__(self, contamination: float):
+        self.contamination = check_in_range(
+            contamination, 0.0, 0.5, "contamination", inclusive=(False, False)
+        )
+        self._tracker = P2Quantile(1.0 - self.contamination)
+
+    @property
+    def ready(self) -> bool:
+        return self._tracker.n_seen >= 2
+
+    @property
+    def value(self) -> float:
+        if not self.ready:
+            raise ValidationError(
+                "need at least 2 scores before a quantile threshold exists"
+            )
+        return self._tracker.value
+
+    @property
+    def n_seen(self) -> int:
+        return self._tracker.n_seen
+
+    def update(self, scores) -> float | None:
+        self._tracker.update(scores)
+        return self.value if self.ready else None
+
+    def learned(self) -> LearnedThreshold:
+        return LearnedThreshold(
+            value=self.value, criterion="quantile-p2", objective=self.contamination
+        )
+
+    def reset(self) -> None:
+        self._tracker.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"P2QuantileThreshold(contamination={self.contamination}, "
+            f"n_seen={self.n_seen})"
+        )
+
+
+def make_threshold(
+    contamination: float, mode: str = "window", capacity: int = 1024
+):
+    """Build a streaming threshold tracker from a config string.
+
+    ``mode="window"`` → the exact ring-buffer tracker (memory
+    O(``capacity``), trailing-window semantics); ``mode="p2"`` → the
+    O(1)-memory P² approximation over the whole stream.
+    """
+    if mode == "window":
+        return StreamingQuantileThreshold(contamination, capacity=check_int(
+            capacity, "capacity", minimum=2))
+    if mode == "p2":
+        return P2QuantileThreshold(contamination)
+    raise ValidationError(f"unknown threshold mode {mode!r}; use 'window' or 'p2'")

@@ -1,0 +1,210 @@
+"""Online reference maintainers: ring-buffer windows over a curve stream.
+
+A streaming detector scores each arriving curve against a *reference
+sample* that must itself evolve with the stream.  This module provides
+the two canonical maintenance policies as preallocated ring buffers:
+
+* :class:`SlidingWindow` — keep exactly the last ``capacity`` items;
+  every arrival evicts the oldest item once the buffer is full.  The
+  reference tracks the recent past, so it adapts to drift by itself at
+  the cost of forgetting long-range structure.
+* :class:`ReservoirWindow` — Vitter's Algorithm R: once full, the
+  ``t``-th arrival replaces a uniformly random slot with probability
+  ``capacity / t``, so the buffer is always a uniform sample of
+  *everything* seen so far.  The reference stays representative of the
+  whole history (robust to bursts) but dilutes drift; pair it with a
+  drift monitor that triggers :meth:`~ReferenceWindow.reset`.
+
+Both policies write in place into one preallocated ``(capacity, ...)``
+buffer and report every mutation as a :class:`WindowUpdate` — the slot
+touched, the inserted item and a copy of the evicted one — which is the
+exact signal the incremental scorer caches of
+:mod:`repro.streaming.online` need to refresh their reference
+statistics without a rebuild.  Reservoir eviction is seeded and
+reproducible: an integer ``random_state`` (optionally spawned through a
+shared :class:`~repro.engine.ExecutionContext` master seed) always
+replays the same eviction schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_int
+
+__all__ = ["WindowUpdate", "ReferenceWindow", "SlidingWindow", "ReservoirWindow"]
+
+
+@dataclass(frozen=True)
+class WindowUpdate:
+    """One window mutation (the unit the scorer caches consume).
+
+    Attributes
+    ----------
+    slot:
+        Buffer row written, or ``None`` when the arrival was skipped
+        (a full reservoir rejects ``1 - capacity/t`` of arrivals).
+    inserted:
+        The stored item (a view into the buffer row) when ``slot`` is
+        set, else ``None``.
+    evicted:
+        A copy of the item the insert overwrote, or ``None`` while the
+        window is still growing (or when the arrival was skipped).
+    """
+
+    slot: int | None
+    inserted: np.ndarray | None
+    evicted: np.ndarray | None
+
+    @property
+    def skipped(self) -> bool:
+        return self.slot is None
+
+
+class ReferenceWindow:
+    """Base ring-buffer window; subclasses choose the eviction policy.
+
+    The buffer is allocated lazily on the first :meth:`observe`, taking
+    its item shape from that first item — windows therefore work for
+    raw curves ``(m,)``/``(m, p)`` and for feature vectors ``(d,)``
+    alike.  ``values`` exposes the filled region in *physical slot
+    order* (a view, no copy); :meth:`ordered_values` materializes the
+    insertion-age order when a deterministic logical order is needed.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = check_int(capacity, "capacity", minimum=2)
+        self._values: np.ndarray | None = None
+        self.size = 0
+        self.n_seen = 0
+
+    # ------------------------------------------------------------------ storage
+    def _ensure_buffer(self, item: np.ndarray) -> np.ndarray:
+        item = np.asarray(item, dtype=np.float64)
+        if item.ndim < 1:
+            raise ValidationError("window items must be arrays (curve or feature rows)")
+        if self._values is None:
+            self._values = np.empty((self.capacity, *item.shape))
+        elif item.shape != self._values.shape[1:]:
+            raise ValidationError(
+                f"window item shape {item.shape} does not match the buffer "
+                f"item shape {self._values.shape[1:]}"
+            )
+        return item
+
+    @property
+    def values(self) -> np.ndarray:
+        """Filled buffer rows, physical slot order (a view, not a copy)."""
+        if self._values is None:
+            return np.empty((0,))
+        return self._values[: self.size]
+
+    @property
+    def full(self) -> bool:
+        return self.size == self.capacity
+
+    def ordered_slots(self) -> np.ndarray:
+        """Physical slots sorted oldest → newest (subclass-defined)."""
+        return np.arange(self.size)
+
+    def ordered_values(self) -> np.ndarray:
+        """The window contents oldest → newest (a gathered copy)."""
+        return self.values[self.ordered_slots()]
+
+    def reset(self) -> None:
+        """Empty the window (buffer and RNG state are kept).
+
+        The re-reference action of the drift path: the next arrivals
+        refill the buffer from the post-drift regime.
+        """
+        self.size = 0
+        self.n_seen = 0
+
+    # ------------------------------------------------------------------ policy
+    def _choose_slot(self) -> int | None:
+        raise NotImplementedError
+
+    def observe(self, item) -> WindowUpdate:
+        """Offer one item to the window; returns the mutation applied."""
+        item = self._ensure_buffer(item)
+        self.n_seen += 1
+        if self.size < self.capacity:
+            slot = self.size
+            self._values[slot] = item
+            self.size += 1
+            return WindowUpdate(slot, self._values[slot], None)
+        slot = self._choose_slot()
+        if slot is None:
+            return WindowUpdate(None, None, None)
+        evicted = self._values[slot].copy()
+        self._values[slot] = item
+        return WindowUpdate(slot, self._values[slot], evicted)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(capacity={self.capacity}, size={self.size}, "
+            f"n_seen={self.n_seen})"
+        )
+
+
+class SlidingWindow(ReferenceWindow):
+    """Keep the last ``capacity`` items; evict strictly oldest-first.
+
+    Once full, arrival ``t`` overwrites slot ``t mod capacity`` — the
+    slot holding the oldest item — so the buffer is the true trailing
+    window of the stream at every step.
+    """
+
+    def _choose_slot(self) -> int:
+        # n_seen was already incremented by observe: arrival t
+        # (0-indexed, t = n_seen - 1) lands in slot t mod capacity.
+        return (self.n_seen - 1) % self.capacity
+
+    def ordered_slots(self) -> np.ndarray:
+        if not self.full:
+            return np.arange(self.size)
+        head = self.n_seen % self.capacity  # oldest item lives here
+        return (head + np.arange(self.capacity)) % self.capacity
+
+
+class ReservoirWindow(ReferenceWindow):
+    """Uniform reservoir sample of the whole stream (Algorithm R).
+
+    Parameters
+    ----------
+    capacity:
+        Reservoir size.
+    random_state:
+        Seed / generator for the replacement draws.  An int seed makes
+        the whole eviction schedule reproducible.
+    context:
+        Optional :class:`~repro.engine.ExecutionContext`; when given
+        together with a seed, the eviction stream is *spawned* from the
+        master seed (``context.spawn_generators``), so several windows
+        sharing one experiment seed still consume statistically
+        independent streams.
+    """
+
+    def __init__(self, capacity: int, random_state=None, context=None):
+        super().__init__(capacity)
+        if context is not None:
+            self._rng = context.spawn_generators(random_state, 1)[0]
+        else:
+            self._rng = check_random_state(random_state)
+
+    def _choose_slot(self) -> int | None:
+        # Arrival number t (1-indexed) keeps a slot with prob capacity/t.
+        j = int(self._rng.integers(0, self.n_seen))
+        return j if j < self.capacity else None
+
+    def ordered_slots(self) -> np.ndarray:
+        # A reservoir has no meaningful age order; slot order is the
+        # canonical deterministic order.
+        return np.arange(self.size)

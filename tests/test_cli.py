@@ -141,3 +141,85 @@ class TestServeScore:
         with pytest.raises(SystemExit) as excinfo:
             main(["frobnicate"])
         assert excinfo.value.code != 0
+
+
+@pytest.fixture()
+def stream_npz(tmp_path):
+    """A univariate curve stream saved as the .npz the CLI consumes."""
+    rng = np.random.default_rng(9)
+    values = rng.standard_normal((120, 24)).cumsum(axis=1) / 5.0
+    path = tmp_path / "stream.npz"
+    np.savez(path, values=values, grid=np.linspace(0.0, 1.0, 24))
+    return path
+
+
+class TestStreamScore:
+    def test_happy_path_writes_scores_and_flags(self, stream_npz, tmp_path, capsys):
+        output = tmp_path / "out.npz"
+        rc = main([
+            "stream-score", "--data", str(stream_npz), "--kind", "funta",
+            "--window", "32", "--chunk-size", "16", "--min-reference", "16",
+            "--drift-baseline", "32", "--drift-recent", "16",
+            "--output", str(output),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stream-score" in out
+        assert "curves scored" in out
+        with np.load(output) as bundle:
+            scores = bundle["scores"]
+            flags = bundle["flags"]
+        assert scores.shape == (120,) and flags.shape == (120,)
+        assert np.isnan(scores[:16]).all()  # warm-up curves
+        assert np.isfinite(scores[16:]).all()
+
+    def test_reservoir_policy_and_p2_threshold(self, stream_npz, capsys):
+        rc = main([
+            "stream-score", "--data", str(stream_npz), "--kind", "halfspace",
+            "--policy", "reservoir", "--threshold-mode", "p2",
+            "--window", "32", "--min-reference", "8",
+            "--drift-baseline", "32", "--drift-recent", "16",
+        ])
+        assert rc == 0
+        assert "reservoir" in capsys.readouterr().out
+
+    def test_missing_data_file_exits_2(self, tmp_path, capsys):
+        rc = main(["stream-score", "--data", str(tmp_path / "nope.npz")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_options_exit_2(self, stream_npz, capsys):
+        # min_reference beyond the window capacity is a validation error.
+        rc = main([
+            "stream-score", "--data", str(stream_npz),
+            "--window", "8", "--min-reference", "64",
+        ])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBenchStream:
+    def test_print_only_run(self, capsys):
+        rc = main([
+            "bench-stream", "--window", "24", "--m", "16", "--arrivals", "10",
+            "--repeats", "1", "--quick", "--output", "",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Streaming" in out
+        assert "funta_p1" in out
+
+    def test_appends_perf_record(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_streaming.json"
+        rc = main([
+            "bench-stream", "--window", "24", "--m", "16", "--arrivals", "8",
+            "--repeats", "1", "--quick", "--output", str(output),
+        ])
+        assert rc == 0
+        trajectory = json.loads(output.read_text())
+        assert len(trajectory) == 1
+        record = trajectory[0]
+        assert record["bench"] == "streaming"
+        assert {r["case"] for r in record["results"]} >= {
+            "funta_p1", "dirout_p1", "halfspace_p1",
+        }

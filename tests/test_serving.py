@@ -367,11 +367,39 @@ class TestScoreStream:
         list(service.score_stream("main", data, chunk_size=10))
         assert service.served_curves == data.n_samples
 
+    def test_generator_source_is_consumed_lazily(self, dataset):
+        data, _ = dataset
+        pipeline = _fitted_pipeline(data)
+        pulled = []
+
+        def generate():
+            for start in (0, 10):
+                pulled.append(start)
+                yield data[np.arange(start, start + 10)]
+
+        stream = score_stream(pipeline, generate(), chunk_size=100)
+        assert pulled == []  # nothing consumed before iteration
+        first = next(stream)
+        assert pulled == [0]  # one batch pulled per yielded score array
+        rest = list(stream)
+        assert pulled == [0, 10]
+        np.testing.assert_allclose(
+            np.concatenate([first, *rest]),
+            pipeline.score_samples(data[np.arange(20)]),
+            atol=1e-12,
+        )
+
     def test_rejects_bad_input(self, dataset):
         data, _ = dataset
         pipeline = _fitted_pipeline(data)
         with pytest.raises(ValidationError):
             list(score_stream(pipeline, 42))
+
+    def test_rejects_raw_arrays(self, dataset):
+        data, _ = dataset
+        pipeline = _fitted_pipeline(data)
+        with pytest.raises(ValidationError, match="ambiguous"):
+            list(score_stream(pipeline, data.values))
 
     def test_rejects_bad_chunk_size(self, dataset):
         data, _ = dataset

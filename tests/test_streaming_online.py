@@ -1,0 +1,429 @@
+"""Unit tests for StreamingDetector and its incremental scorer caches."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import GeometricOutlierPipeline
+from repro.data import make_drifting_stream
+from repro.depth.dirout import dirout_scores
+from repro.depth.functional import functional_depth
+from repro.depth.funta import funta_outlyingness
+from repro.detectors import IsolationForest
+from repro.exceptions import NotFittedError, ValidationError
+from repro.fda.fdata import MFDataGrid
+from repro.serving import ScoringService
+from repro.streaming import (
+    DepthRankDrift,
+    ReservoirWindow,
+    SlidingWindow,
+    StreamingDetector,
+    StreamingQuantileThreshold,
+)
+from repro.streaming.online import SortedLanes, _PipelineState
+
+GRID = np.linspace(0.0, 1.0, 36)
+M = GRID.shape[0]
+
+
+def _curves(n, p=1, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, M, p)).cumsum(axis=1) / 5.0
+
+
+def _mfd(values):
+    return MFDataGrid(values, GRID)
+
+
+class TestSortedLanes:
+    def test_insert_and_replace_track_full_sort(self):
+        rng = np.random.default_rng(0)
+        lanes = SortedLanes(6, 12)
+        rows = []
+        for _ in range(12):
+            row = rng.standard_normal(6).round(1)  # rounding forces ties
+            lanes.insert(row)
+            rows.append(row)
+        reference = np.array(rows)
+        np.testing.assert_array_equal(
+            lanes.lanes[:, :12], np.sort(reference.T, axis=1)
+        )
+        for _ in range(100):
+            victim = rng.integers(0, 12)
+            replacement = rng.standard_normal(6).round(1)
+            lanes.replace(reference[victim].copy(), replacement)
+            reference[victim] = replacement
+            np.testing.assert_array_equal(
+                lanes.lanes[:, :12], np.sort(reference.T, axis=1)
+            )
+
+    def test_median_is_bit_identical_to_numpy(self):
+        rng = np.random.default_rng(1)
+        for n in (3, 4, 11, 12):
+            lanes = SortedLanes(5, n)
+            rows = rng.standard_normal((n, 5))
+            for row in rows:
+                lanes.insert(row)
+            np.testing.assert_array_equal(lanes.median(), np.median(rows, axis=0))
+
+    def test_rank_counts_match_boolean_comparisons(self):
+        rng = np.random.default_rng(2)
+        lanes = SortedLanes(4, 9)
+        rows = rng.standard_normal((9, 4)).round(1)
+        for row in rows:
+            lanes.insert(row)
+        queries = np.concatenate([rng.standard_normal((5, 4)).round(1), rows[:2]])
+        le, lt = lanes.rank_counts(queries)
+        expected_le = (rows[None, :, :] <= queries[:, None, :]).sum(axis=1).T
+        expected_lt = (rows[None, :, :] < queries[:, None, :]).sum(axis=1).T
+        np.testing.assert_array_equal(le, expected_le)
+        np.testing.assert_array_equal(lt, expected_lt)
+
+
+class TestStreamingEqualsBatch:
+    """The acceptance pins: online full window == one-shot batch."""
+
+    @pytest.mark.parametrize("p", [1, 2])
+    def test_funta_full_window_matches_batch(self, p):
+        reference = _curves(20, p=p, seed=3)
+        queries = _mfd(_curves(6, p=p, seed=4))
+        detector = StreamingDetector("funta", SlidingWindow(32), min_reference=4)
+        detector.prime(_mfd(reference))
+        online = detector.score(queries)
+        batch = funta_outlyingness(queries, reference=_mfd(reference))
+        np.testing.assert_array_equal(online, batch)
+
+    def test_funta_after_evictions_matches_batch_on_window(self, subtests=None):
+        stream = _curves(50, p=2, seed=5)
+        detector = StreamingDetector("funta", SlidingWindow(16), min_reference=4)
+        detector.prime(_mfd(stream))  # 50 curves through a 16-slot ring
+        queries = _mfd(_curves(5, p=2, seed=6))
+        online = detector.score(queries)
+        physical = funta_outlyingness(
+            queries, reference=_mfd(detector.window.values.copy())
+        )
+        np.testing.assert_array_equal(online, physical)
+        logical = funta_outlyingness(
+            queries, reference=_mfd(detector.window.ordered_values())
+        )
+        np.testing.assert_allclose(online, logical, rtol=1e-12, atol=0.0)
+
+    def test_dirout_p1_full_window_matches_batch(self):
+        reference = _curves(20, seed=7)
+        queries = _mfd(_curves(6, seed=8))
+        detector = StreamingDetector("dirout", SlidingWindow(32), min_reference=4)
+        detector.prime(_mfd(reference))
+        online = detector.score(queries)
+        batch = dirout_scores(queries, reference=_mfd(reference), method="total")
+        np.testing.assert_array_equal(online, batch)
+
+    def test_dirout_p1_after_evictions_matches_batch_on_window(self):
+        detector = StreamingDetector("dirout", SlidingWindow(12), min_reference=4)
+        detector.prime(_mfd(_curves(40, seed=9)))
+        queries = _mfd(_curves(5, seed=10))
+        online = detector.score(queries)
+        batch = dirout_scores(
+            queries, reference=_mfd(detector.window.values.copy()), method="total"
+        )
+        np.testing.assert_array_equal(online, batch)
+
+    def test_halfspace_p1_matches_batch(self):
+        detector = StreamingDetector("halfspace", SlidingWindow(12), min_reference=4)
+        detector.prime(_mfd(_curves(30, seed=11)))
+        queries = _mfd(_curves(5, seed=12))
+        online = detector.score(queries)
+        depth = functional_depth(
+            queries, _mfd(detector.window.values.copy()), notion="halfspace"
+        )
+        np.testing.assert_array_equal(online, 1.0 - depth)
+
+    @pytest.mark.parametrize("kind", ["funta", "dirout", "halfspace"])
+    def test_incremental_equals_refit_oracle_per_arrival(self, kind):
+        stream = _curves(40, seed=13)
+        incremental = StreamingDetector(kind, SlidingWindow(10), min_reference=4)
+        refit = StreamingDetector(
+            kind, SlidingWindow(10), min_reference=4, incremental=False
+        )
+        for i in range(40):
+            chunk = _mfd(stream[i : i + 1])
+            a = incremental.process(chunk)
+            b = refit.process(chunk)
+            assert (a.scores is None) == (b.scores is None)
+            if a.scores is not None:
+                np.testing.assert_array_equal(a.scores, b.scores)
+
+    @pytest.mark.parametrize("kind", ["dirout", "halfspace"])
+    def test_p2_falls_back_to_seeded_refit(self, kind):
+        detector = StreamingDetector(kind, SlidingWindow(16), min_reference=4)
+        detector.prime(_mfd(_curves(16, p=2, seed=14)))
+        assert detector.effective_incremental is False
+        queries = _mfd(_curves(3, p=2, seed=15))
+        np.testing.assert_array_equal(detector.score(queries), detector.score(queries))
+
+
+class TestPipelineKind:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        curves = _curves(30, p=2, seed=16)
+        # Few eval points keep the feature dimension (8) below the
+        # window sizes used here, so the windowed scatter is full rank.
+        pipeline = GeometricOutlierPipeline(
+            IsolationForest(n_estimators=20, random_state=0), n_basis=8,
+            eval_points=8,
+        )
+        pipeline.fit(_mfd(curves))
+        return pipeline
+
+    def test_features_are_windowed_and_scored(self, pipeline):
+        detector = StreamingDetector(
+            "pipeline", SlidingWindow(16), pipeline=pipeline, min_reference=8
+        )
+        detector.prime(_mfd(_curves(16, p=2, seed=17)))
+        scores = detector.score(_mfd(_curves(4, p=2, seed=18)))
+        assert scores.shape == (4,)
+        assert np.all(np.isfinite(scores)) and np.all(scores >= 0.0)
+
+    def test_incremental_moments_match_rebuild(self, pipeline):
+        incremental = StreamingDetector(
+            "pipeline", SlidingWindow(16), pipeline=pipeline, min_reference=12
+        )
+        refit = StreamingDetector(
+            "pipeline", SlidingWindow(16), pipeline=pipeline, min_reference=12,
+            incremental=False,
+        )
+        stream = _curves(40, p=2, seed=19)
+        queries = _mfd(_curves(4, p=2, seed=20))
+        for i in range(0, 40, 4):
+            chunk = _mfd(stream[i : i + 4])
+            incremental.process(chunk)
+            refit.process(chunk)
+        np.testing.assert_allclose(
+            incremental.score(queries), refit.score(queries), rtol=1e-6
+        )
+
+    def test_cholesky_survives_many_rank_one_updates(self):
+        rng = np.random.default_rng(21)
+        state = _PipelineState(ridge_eps=1e-9, resync_every=10_000, incremental=True)
+        window = SlidingWindow(10)
+        features = rng.standard_normal((80, 5))
+        for i in range(12):
+            state.apply(window.observe(features[i]))
+        queries = rng.standard_normal((3, 5))
+        state.score(queries, window)  # installs the factor
+        for i in range(12, 80):
+            state.apply(window.observe(features[i]))
+        assert state._chol is not None  # maintained, not rebuilt
+        oracle = _PipelineState(ridge_eps=1e-9, resync_every=10_000, incremental=False)
+        np.testing.assert_allclose(
+            state.score(queries, window), oracle.score(queries, window), rtol=1e-6
+        )
+
+    def test_requires_fitted_pipeline(self):
+        unfitted = GeometricOutlierPipeline(IsolationForest(), n_basis=8)
+        with pytest.raises(ValidationError, match="fitted"):
+            StreamingDetector("pipeline", SlidingWindow(8), pipeline=unfitted)
+
+    def test_pipeline_argument_rejected_for_other_kinds(self, pipeline):
+        with pytest.raises(ValidationError, match="only accepted"):
+            StreamingDetector("funta", SlidingWindow(8), pipeline=pipeline)
+
+
+class TestProcessFlow:
+    def test_warmup_then_scores(self):
+        detector = StreamingDetector("funta", SlidingWindow(16), min_reference=8)
+        first = detector.process(_mfd(_curves(5, seed=22)))
+        assert first.warmup and first.scores is None and first.n_reference == 5
+        second = detector.process(_mfd(_curves(5, seed=23)))
+        assert second.warmup  # 5 < 8 still
+        third = detector.process(_mfd(_curves(5, seed=24)))
+        assert not third.warmup and third.scores.shape == (5,)
+        assert detector.n_seen == 15 and detector.n_scored == 5
+
+    def test_threshold_flags_and_counts(self):
+        detector = StreamingDetector(
+            "funta", SlidingWindow(32), min_reference=8,
+            threshold=StreamingQuantileThreshold(0.2, capacity=64),
+        )
+        detector.prime(_mfd(_curves(16, seed=25)))
+        result = detector.process(_mfd(_curves(10, seed=26)))
+        assert result.flags is not None and result.threshold is not None
+        np.testing.assert_array_equal(result.flags, result.scores > result.threshold)
+        assert detector.n_flagged == int(result.flags.sum())
+
+    def test_update_policy_none_freezes_reference(self):
+        detector = StreamingDetector(
+            "funta", SlidingWindow(16), min_reference=8, update_policy="none"
+        )
+        detector.prime(_mfd(_curves(10, seed=27)))
+        frozen = detector.window.values.copy()
+        detector.process(_mfd(_curves(5, seed=28)))
+        np.testing.assert_array_equal(detector.window.values, frozen)
+
+    def test_update_policy_inliers_keeps_flagged_out(self):
+        detector = StreamingDetector(
+            "funta", SlidingWindow(64), min_reference=8,
+            threshold=StreamingQuantileThreshold(0.3, capacity=64),
+            update_policy="inliers",
+        )
+        detector.prime(_mfd(_curves(16, seed=29)))
+        result = detector.process(_mfd(_curves(12, seed=30)))
+        expected = 16 + int((~result.flags).sum())
+        assert detector.window.size == expected
+
+    def test_on_drift_rereference_resets_window(self):
+        detector = StreamingDetector(
+            "funta",
+            ReservoirWindow(32, random_state=0),
+            min_reference=8,
+            threshold=StreamingQuantileThreshold(0.1, capacity=64),
+            drift=DepthRankDrift(
+                baseline_size=16, recent_size=8, alpha=0.2, patience=1, min_gap=1
+            ),
+            on_drift="rereference",
+        )
+        detector.prime(_mfd(_curves(32, seed=31)))
+        rng = np.random.default_rng(32)
+        fired = False
+        for i in range(40):
+            shifted = rng.standard_normal((4, M, 1)).cumsum(axis=1) / 5.0 + 5.0
+            result = detector.process(_mfd(shifted))
+            if result.drift is not None:
+                fired = True
+                assert detector.n_rereferences == 1
+                assert result.n_reference <= 4  # refilled from this batch only
+                break
+        assert fired
+
+    @pytest.mark.parametrize("kind", ["funta", "dirout", "halfspace"])
+    def test_externally_prefilled_window_syncs_caches(self, kind):
+        # A window populated before the detector attaches (shared or
+        # hand-primed through observe()) must still score correctly:
+        # the incremental caches replay its contents on first use.
+        window = SlidingWindow(24)
+        for curve in _curves(20, seed=45):
+            window.observe(curve)
+        detector = StreamingDetector(kind, window, min_reference=8)
+        refit = StreamingDetector(
+            kind, SlidingWindow(24), min_reference=8, incremental=False
+        )
+        refit.prime(_mfd(_curves(20, seed=45)))
+        queries = _mfd(_curves(4, seed=46))
+        np.testing.assert_array_equal(detector.score(queries), refit.score(queries))
+        # process() on the prefilled window works too (scorer exists).
+        result = detector.process(queries)
+        assert not result.warmup and result.scores.shape == (4,)
+
+    def test_score_before_ready_raises(self):
+        detector = StreamingDetector("funta", SlidingWindow(16), min_reference=8)
+        with pytest.raises(NotFittedError, match="min_reference"):
+            detector.score(_mfd(_curves(3, seed=33)))
+
+    def test_grid_and_parameter_mismatches_rejected(self):
+        detector = StreamingDetector("funta", SlidingWindow(16), min_reference=8)
+        detector.prime(_mfd(_curves(8, seed=34)))
+        other_grid = MFDataGrid(_curves(2, seed=35), np.linspace(0.0, 2.0, M))
+        with pytest.raises(ValidationError, match="grid"):
+            detector.process(other_grid)
+        with pytest.raises(ValidationError, match="parameters"):
+            detector.process(_mfd(_curves(2, p=2, seed=36)))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValidationError, match="kind"):
+            StreamingDetector("knn", SlidingWindow(8))
+        with pytest.raises(ValidationError, match="ReferenceWindow"):
+            StreamingDetector("funta", object())
+        with pytest.raises(ValidationError, match="update_policy"):
+            StreamingDetector("funta", SlidingWindow(8), update_policy="some")
+        with pytest.raises(ValidationError, match="on_drift"):
+            StreamingDetector("funta", SlidingWindow(8), on_drift="panic")
+        with pytest.raises(ValidationError, match="unknown options"):
+            StreamingDetector("funta", SlidingWindow(8), n_directions=5)
+        with pytest.raises(ValidationError, match="exceeds"):
+            StreamingDetector("funta", SlidingWindow(8), min_reference=9)
+        with pytest.raises(ValidationError, match="update"):
+            StreamingDetector("funta", SlidingWindow(8), threshold=object())
+        with pytest.raises(ValidationError, match="DepthRankDrift"):
+            StreamingDetector("funta", SlidingWindow(8), drift=object())
+
+    def test_stats_surface(self):
+        detector = StreamingDetector("funta", SlidingWindow(16), min_reference=8)
+        detector.prime(_mfd(_curves(8, seed=37)))
+        detector.process(_mfd(_curves(4, seed=38)))
+        stats = detector.stats()
+        assert stats["kind"] == "funta"
+        assert stats["n_seen"] == 12 and stats["n_scored"] == 4
+        assert stats["incremental"] is True
+
+
+class TestDriftingStreamIntegration:
+    def test_drift_monitor_fires_after_injected_regime_change(self):
+        stream = make_drifting_stream(
+            n_chunks=30, chunk_size=16, n_points=48, drift_at=15,
+            drift_phase=1.0, drift_scale=1.4, random_state=0,
+        )
+        detector = StreamingDetector(
+            "funta", SlidingWindow(96), min_reference=32,
+            drift=DepthRankDrift(
+                baseline_size=96, recent_size=64, alpha=0.01,
+                patience=1, min_gap=32,
+            ),
+        )
+        fired_at = None
+        for chunk_idx, (chunk, _) in enumerate(stream):
+            result = detector.process(chunk)
+            if result.drift is not None and fired_at is None:
+                fired_at = chunk_idx
+        assert fired_at is not None and fired_at >= 14
+
+    def test_stream_generator_is_reproducible_and_labelled(self):
+        make = lambda: make_drifting_stream(
+            n_chunks=4, chunk_size=6, n_points=32, burst_at=(2,),
+            burst_size=2, random_state=5,
+        )
+        first = [(chunk.values, labels) for chunk, labels in make()]
+        second = [(chunk.values, labels) for chunk, labels in make()]
+        for (va, la), (vb, lb) in zip(first, second):
+            np.testing.assert_array_equal(va, vb)
+            np.testing.assert_array_equal(la, lb)
+        labels = np.concatenate([l for _, l in first])
+        assert labels.sum() == 2  # exactly the injected burst
+        assert first[0][0].shape == (6, 32, 2)
+
+
+class TestServiceIntegration:
+    def test_streaming_detector_serves_through_service(self):
+        service = ScoringService()
+        detector = StreamingDetector("funta", SlidingWindow(32), min_reference=8)
+        service.register("stream", detector)
+        assert detector.context is service.context
+        warm = _mfd(_curves(16, seed=40))
+        list(service.stream("stream", warm, chunk_size=8))
+        scores = service.score("stream", _mfd(_curves(3, seed=41)))
+        assert scores.shape == (3,)
+        assert service.served_curves == 19
+
+    def test_score_stream_pads_warmup_with_nan(self):
+        service = ScoringService()
+        detector = StreamingDetector("funta", SlidingWindow(32), min_reference=16)
+        service.register("stream", detector)
+        data = _mfd(_curves(32, seed=42))
+        chunks = list(service.score_stream("stream", data, chunk_size=8))
+        flat = np.concatenate(chunks)
+        assert flat.shape == (32,)
+        assert np.isnan(flat[:16]).all() and np.isfinite(flat[16:]).all()
+
+    def test_submit_rejects_streaming_detectors(self):
+        service = ScoringService()
+        service.register("stream", StreamingDetector("funta", SlidingWindow(8)))
+        with pytest.raises(ValidationError, match="micro-batching"):
+            service.submit("stream", _mfd(_curves(2, seed=43)))
+
+    def test_stream_route_rejects_batch_pipelines(self):
+        service = ScoringService()
+        curves = _curves(10, p=2, seed=44)
+        pipeline = GeometricOutlierPipeline(
+            IsolationForest(n_estimators=10, random_state=0), n_basis=8
+        )
+        pipeline.fit(_mfd(curves))
+        service.register("batch", pipeline)
+        with pytest.raises(ValidationError, match="not a StreamingDetector"):
+            list(service.stream("batch", _mfd(curves)))
