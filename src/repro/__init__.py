@@ -24,7 +24,9 @@ Subpackages
 ``repro.evaluation`` ROC/AUC, contaminated splits, experiment harness
 ``repro.core``       the paper's pipeline and the Figure-3 methods
 ``repro.engine``     shared execution engine (factorization cache, parallel fan-out)
+``repro.plan``       declarative scoring specs + the plan compiler/executor
 ``repro.serving``    pipeline persistence + batched scoring service
+``repro.streaming``  online detection over unbounded curve streams
 """
 
 from repro.core import (
@@ -42,6 +44,19 @@ from repro.detectors import IsolationForest, OneClassSVM
 from repro.evaluation import ResultTable, roc_auc, run_contamination_experiment
 from repro.fda import BasisSmoother, BSplineBasis, FDataGrid, MFDataGrid
 from repro.geometry import CurvatureMapping, SpeedMapping
+from repro.plan import (
+    DetectorSpec,
+    MappingSpec,
+    MethodSpec,
+    PipelineSpec,
+    SmootherSpec,
+    StreamSpec,
+    WorkloadSpec,
+    compile_plan,
+    load_spec,
+    spec_from_json,
+    spec_to_json,
+)
 
 __version__ = "1.0.0"
 
@@ -49,6 +64,7 @@ __all__ = [
     "BasisSmoother",
     "BSplineBasis",
     "CurvatureMapping",
+    "DetectorSpec",
     "DirOutMethod",
     "ExecutionContext",
     "FactorizationCache",
@@ -58,18 +74,28 @@ __all__ = [
     "IsolationForest",
     "MFDataGrid",
     "MappedDetectorMethod",
+    "MappingSpec",
+    "MethodSpec",
     "OneClassSVM",
+    "PipelineSpec",
     "ResultTable",
+    "SmootherSpec",
     "SpeedMapping",
+    "StreamSpec",
+    "WorkloadSpec",
+    "compile_plan",
     "default_methods",
     "dirout_scores",
     "funta_depth",
     "funta_outlyingness",
+    "load_spec",
     "make_ecg_dataset",
     "make_fig1_dataset",
     "make_method",
     "make_taxonomy_dataset",
     "roc_auc",
+    "spec_from_json",
+    "spec_to_json",
     "run_contamination_experiment",
     "square_augment",
     "__version__",

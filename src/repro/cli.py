@@ -9,6 +9,7 @@ Usage::
     python -m repro all --reps 15
     python -m repro serve-score --pipeline model_dir --data batch.npz
     python -m repro stream-score --data stream.npz --kind funta --window 128
+    python -m repro plan validate examples/specs/*.json model_dir
     python -m repro bench-depth --n 200 --m 100 --n-jobs 2
     python -m repro bench-stream --window 128 --arrivals 200
 
@@ -94,17 +95,23 @@ def run_fig2(args) -> None:
 
 
 def run_fig3(args) -> None:
-    """Figure 3: AUC vs. contamination level (the headline result)."""
-    from repro.core.methods import default_methods
+    """Figure 3: AUC vs. contamination level (the headline result).
+
+    The four methods are handed to the harness as declarative
+    :class:`~repro.plan.MethodSpec` entries and compiled against the
+    run's execution context — the same construction path as
+    ``make_method`` and the serving manifests.
+    """
     from repro.data import make_ecg_dataset, square_augment
     from repro.evaluation.experiment import run_contamination_experiment
+    from repro.plan import DEFAULT_METHOD_SPECS
 
     data, labels, _ = make_ecg_dataset(n_normal=133, n_abnormal=67, random_state=args.seed)
     mfd = square_augment(data)
     table = run_contamination_experiment(
         mfd,
         labels,
-        default_methods(),
+        list(DEFAULT_METHOD_SPECS),
         n_repetitions=args.reps,
         train_fraction=0.7,
         random_state=args.seed,
@@ -191,14 +198,22 @@ def run_bench_depth(args) -> None:
 
 
 def run_serve_score(args) -> None:
-    """serve-score: stream a persisted pipeline over an ``.npz`` curve batch."""
-    from repro.serving import load_pipeline, score_stream
+    """serve-score: stream a persisted pipeline over an ``.npz`` curve batch.
+
+    The manifest's declarative spec is validated and lowered by the
+    plan compiler during :func:`~repro.serving.load_pipeline`; the
+    restored pipeline is then wrapped in a stream-mode plan whose
+    executor walks the batch in bounded-memory chunks.
+    """
+    from repro.plan import WorkloadSpec, plan_for_pipeline
+    from repro.serving import load_pipeline
 
     pipeline = load_pipeline(args.pipeline)
+    plan = plan_for_pipeline(
+        pipeline, WorkloadSpec(mode="stream", chunk_size=args.chunk_size)
+    )
     data = _load_batch_npz(args.data)
-    chunks = []
-    for chunk in score_stream(pipeline, data, chunk_size=args.chunk_size):
-        chunks.append(chunk)
+    chunks = list(plan.score_chunks(data))
     scores = np.concatenate(chunks)
     if args.output:
         np.savez_compressed(args.output, scores=scores)
@@ -219,51 +234,57 @@ def run_serve_score(args) -> None:
 
 
 def run_stream_score(args) -> None:
-    """stream-score: online detection over a chunked curve stream."""
-    from repro.serving.service import iter_curve_chunks
-    from repro.streaming import (
-        DepthRankDrift,
-        ReservoirWindow,
-        SlidingWindow,
-        StreamingDetector,
-        make_threshold,
-    )
+    """stream-score: online detection over a chunked curve stream.
+
+    The CLI arguments parse into a declarative
+    :class:`~repro.plan.StreamSpec`; the plan compiler builds the
+    window/threshold/drift stack and the plan executor drives the
+    chunked online steps.
+    """
+    from repro.plan import StreamSpec, WorkloadSpec, compile_plan, run_chunked
 
     data = _load_batch_npz(args.data)
-    if args.policy == "sliding":
-        window = SlidingWindow(args.window)
-    else:
-        window = ReservoirWindow(args.window, random_state=args.seed)
-    threshold = make_threshold(
-        args.contamination, mode=args.threshold_mode, capacity=max(args.window, 2)
-    )
-    drift = DepthRankDrift(
-        baseline_size=args.drift_baseline,
-        recent_size=args.drift_recent,
-        alpha=args.alpha,
-    )
-    detector = StreamingDetector(
-        args.kind,
-        window,
-        threshold=threshold,
-        drift=drift,
+    spec = StreamSpec(
+        kind=args.kind,
+        window=args.window,
+        policy=args.policy,
         min_reference=args.min_reference,
-        on_drift="rereference" if args.policy == "reservoir" else "adapt",
+        contamination=args.contamination,
+        threshold_mode=args.threshold_mode,
+        drift_baseline=args.drift_baseline,
+        drift_recent=args.drift_recent,
+        alpha=args.alpha,
+        seed=args.seed,
     )
-    scores = []
-    flags = []
-    for chunk in iter_curve_chunks(data, chunk_size=args.chunk_size):
+    plan = compile_plan(spec, WorkloadSpec(mode="stream", chunk_size=args.chunk_size))
+    detector = plan.detector
+
+    def online_step(chunk):
+        """One chunk through the detector; NaN scores during warm-up."""
         result = detector.process(chunk)
         if result.scores is None:
-            scores.append(np.full(chunk.n_samples, np.nan))
-            flags.append(np.zeros(chunk.n_samples, dtype=bool))
-        else:
-            scores.append(result.scores)
-            flags.append(
-                result.flags
-                if result.flags is not None
-                else np.zeros(chunk.n_samples, dtype=bool)
+            return (
+                np.full(chunk.n_samples, np.nan),
+                np.zeros(chunk.n_samples, dtype=bool),
             )
+        chunk_flags = (
+            result.flags
+            if result.flags is not None
+            else np.zeros(chunk.n_samples, dtype=bool)
+        )
+        return result.scores, chunk_flags
+
+    # run_chunked rather than plan.process_chunks: warm-up padding and
+    # flag back-fill need each chunk's size, which StreamBatchResult
+    # does not carry.  The chunk size is still threaded once, through
+    # the plan's workload.
+    scores = []
+    flags = []
+    for chunk_scores, chunk_flags in run_chunked(
+        online_step, data, chunk_size=plan.workload.chunk_size
+    ):
+        scores.append(chunk_scores)
+        flags.append(chunk_flags)
     scores = np.concatenate(scores)
     flags = np.concatenate(flags)
     if args.output:
@@ -312,6 +333,44 @@ def run_bench_stream(args) -> None:
     if args.output:
         trajectory = append_bench_record(args.output, record)
         print(f"\nperf trajectory: {args.output} ({len(trajectory)} records)")
+
+
+def run_plan_validate(args) -> None:
+    """plan validate: parse, validate and compile declarative specs.
+
+    Accepts spec ``.json`` files (tagged documents — see
+    :mod:`repro.plan.specs`) and saved-pipeline directories or
+    ``manifest.json`` files (their embedded spec section is validated,
+    including v1 manifests via the translation reader).  Exits non-zero
+    on the first invalid spec, printing the actionable validation
+    message.
+    """
+    from pathlib import Path
+
+    from repro.plan import WorkloadSpec, compile_plan, load_spec
+    from repro.serving.persist import MANIFEST_NAME, read_spec
+
+    rows = []
+    for raw in args.paths:
+        path = Path(raw)
+        if path.is_dir():
+            spec = read_spec(path)
+        elif path.name == MANIFEST_NAME:
+            spec = read_spec(path.parent)
+        else:
+            spec = load_spec(path)
+        if isinstance(spec, WorkloadSpec):
+            summary = {"kind": "workload", "mode": spec.mode}
+        else:
+            # Compile AND build: building proves the spec lowers into
+            # live objects (registries resolve, cross-constructor
+            # invariants hold), not just that the JSON parses.
+            plan = compile_plan(spec)
+            plan.build()
+            summary = plan.describe()
+        rows.append([str(raw), summary.pop("kind"),
+                     " ".join(f"{k}={v}" for k, v in sorted(summary.items())), "ok"])
+    _print_table("plan validate", ["spec", "kind", "summary", "status"], rows)
 
 
 COMMANDS = {
@@ -412,6 +471,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="reservoir eviction seed")
     stream.add_argument("--output", default=None,
                         help="optional .npz path for scores + flags")
+    plan_parser = subparsers.add_parser(
+        "plan", help="inspect and validate declarative scoring specs")
+    plan_sub = plan_parser.add_subparsers(dest="plan_command", required=True)
+    plan_validate = plan_sub.add_parser(
+        "validate",
+        help="parse, validate and compile spec JSON files / pipeline manifests")
+    plan_validate.add_argument(
+        "paths", nargs="+",
+        help="spec .json files, saved-pipeline directories, or manifest.json paths")
     serve = subparsers.add_parser(
         "serve-score", help="score a curve batch with a persisted pipeline")
     serve.add_argument("--pipeline", required=True,
@@ -433,6 +501,8 @@ def main(argv=None) -> int:
         if args.command == "all":
             for name in COMMANDS:
                 COMMANDS[name](args)
+        elif args.command == "plan":
+            run_plan_validate(args)
         elif args.command == "serve-score":
             run_serve_score(args)
         elif args.command == "stream-score":

@@ -343,34 +343,28 @@ class DirOutMethod(Method):
 def default_methods() -> list[Method]:
     """The four methods of the paper's Figure 3.
 
-    The OCSVM kernel width is fixed at ``gamma = 0.05`` on the
-    standardized mapped features: on clipped z-scores the usual
-    ``"scale"`` heuristic under-localizes the boundary, letting a
-    contaminated training cluster absorb into the support (see the
-    gamma ablation bench).
+    Thin wrapper over :data:`repro.plan.DEFAULT_METHOD_SPECS` compiled
+    through the plan layer — the specs are the source of truth (the
+    OCSVM kernel width is fixed at ``gamma = 0.05`` on the standardized
+    mapped features; see the gamma ablation bench for why ``"scale"``
+    under-localizes there).
     """
-    return [
-        DirOutMethod(),
-        FuntaMethod(),
-        MappedDetectorMethod("iforest", n_estimators=200),
-        MappedDetectorMethod("ocsvm", gamma=0.05),
-    ]
+    from repro.plan import DEFAULT_METHOD_SPECS, compile_plan
+
+    return [compile_plan(spec).build() for spec in DEFAULT_METHOD_SPECS]
 
 
 def make_method(spec: str, **kwargs) -> Method:
-    """Factory from a Figure-3-style label.
+    """Factory from a Figure-3-style label (thin wrapper over ``repro.plan``).
 
     Accepted specs (case-insensitive): ``"Dir.out"``, ``"FUNTA"``,
     ``"iFor(Curvmap)"``, ``"OCSVM(Curvmap)"``, plus ``"iforest"`` /
-    ``"ocsvm"`` aliases.
+    ``"ocsvm"`` aliases.  The label and keyword arguments are parsed
+    into a :class:`~repro.plan.MethodSpec` and compiled, so an unknown
+    label or keyword raises
+    :class:`~repro.exceptions.ConfigurationError` naming the valid
+    alternatives instead of failing silently deep inside ``prepare``.
     """
-    key = spec.strip().lower()
-    if key in ("dir.out", "dirout"):
-        return DirOutMethod(**kwargs)
-    if key == "funta":
-        return FuntaMethod(**kwargs)
-    if key in ("ifor(curvmap)", "iforest", "ifor"):
-        return MappedDetectorMethod("iforest", **kwargs)
-    if key in ("ocsvm(curvmap)", "ocsvm"):
-        return MappedDetectorMethod("ocsvm", **kwargs)
-    raise ValidationError(f"unknown method spec {spec!r}")
+    from repro.plan import MethodSpec, compile_plan
+
+    return compile_plan(MethodSpec(kind=spec, params=kwargs)).build()

@@ -245,6 +245,30 @@ class GeometricOutlierPipeline:
         """Convenience: fit on ``train`` and score ``test``."""
         return self.fit(train).score_samples(test)
 
+    # ------------------------------------------------------------------ specs
+    @classmethod
+    def from_spec(cls, spec, context: ExecutionContext | None = None) -> "GeometricOutlierPipeline":
+        """Construct an unfitted pipeline from a declarative spec.
+
+        ``spec`` is a :class:`~repro.plan.PipelineSpec` (or its tagged
+        dict form); construction delegates to the plan compiler — the
+        library's single spec→object lowering path.
+        """
+        from repro.plan import compile_plan
+
+        return compile_plan(spec, context=context).build()
+
+    def to_spec(self):
+        """The declarative :class:`~repro.plan.PipelineSpec` of this pipeline.
+
+        Round-trips through :meth:`from_spec` to an identically
+        configured pipeline; the serving layer persists it as the v2
+        manifest's ``spec`` section.
+        """
+        from repro.plan import pipeline_to_spec
+
+        return pipeline_to_spec(self)
+
     # ------------------------------------------------------------------ state
     def export_fitted_state(self) -> dict:
         """Everything a fresh process needs to score new batches.

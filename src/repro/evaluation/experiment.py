@@ -96,6 +96,24 @@ def _run_cell(payload):
     return records
 
 
+def _resolve_method(entry, context):
+    """Compile declarative method entries through the plan layer.
+
+    ``methods`` items may be live :class:`~repro.core.methods.Method`
+    objects (used as-is), :class:`~repro.plan.MethodSpec` instances, or
+    Figure-3 label strings (``"FUNTA"``, ``"iFor(Curvmap)"`` ...); the
+    latter two are lowered by :func:`repro.plan.compile_plan`, so the
+    harness shares the library's single construction path.
+    """
+    from repro.plan import MethodSpec, compile_plan
+
+    if isinstance(entry, str):
+        entry = MethodSpec(entry)
+    if isinstance(entry, MethodSpec):
+        return compile_plan(entry, context=context).build()
+    return entry
+
+
 def _prepare_method(method, data, random_state, context):
     """Call ``method.prepare``, passing the context only if accepted.
 
@@ -135,7 +153,10 @@ def run_contamination_experiment(
     labels:
         Binary array, 1 = outlier.
     methods:
-        Method objects (see :mod:`repro.core.methods`).
+        Method objects (see :mod:`repro.core.methods`),
+        :class:`~repro.plan.MethodSpec` instances, or Figure-3 label
+        strings — declarative entries are compiled through
+        :func:`repro.plan.compile_plan` against the run's context.
     contamination_levels:
         The swept training contamination ratios (paper: 5%..25%).
     n_repetitions:
@@ -181,6 +202,7 @@ def run_contamination_experiment(
     ctx = context if context is not None else ExecutionContext()
     if n_jobs is not None:
         n_jobs = _resolve_n_jobs(n_jobs)  # fail fast, before the prepare stage
+    methods = [_resolve_method(entry, ctx) for entry in methods]
 
     master = check_random_state(random_state)
     prep_states = spawn_random_states(master, len(methods))

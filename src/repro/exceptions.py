@@ -21,6 +21,19 @@ class ValidationError(ReproError, ValueError):
     """
 
 
+class ConfigurationError(ValidationError):
+    """A declarative spec (``repro.plan``) is malformed.
+
+    Raised with an actionable message — unknown types list the known
+    registry entries, unknown parameters list the valid keys — by the
+    spec validators, so a bad JSON spec or a typo'd keyword argument
+    fails at construction time instead of deep inside a fit.
+
+    Subclasses :class:`ValidationError`, so callers catching the broad
+    validation family (or plain ``ValueError``) keep working.
+    """
+
+
 class NotFittedError(ReproError, RuntimeError):
     """An estimator method requiring a fitted model was called before ``fit``."""
 

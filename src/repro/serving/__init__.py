@@ -21,7 +21,9 @@ from repro.serving.persist import (
     ARRAYS_NAME,
     FORMAT_VERSION,
     MANIFEST_NAME,
+    SUPPORTED_VERSIONS,
     load_pipeline,
+    read_spec,
     save_pipeline,
 )
 from repro.serving.service import (
@@ -37,10 +39,12 @@ __all__ = [
     "DepthScorer",
     "FORMAT_VERSION",
     "MANIFEST_NAME",
+    "SUPPORTED_VERSIONS",
     "ScoreTicket",
     "ScoringService",
     "iter_curve_chunks",
     "load_pipeline",
+    "read_spec",
     "save_pipeline",
     "score_stream",
 ]

@@ -2,9 +2,10 @@
 
 A saved pipeline is a *directory* containing exactly two files:
 
-* ``manifest.json`` — every JSON-able part of the fitted state (basis
-  and smoother configs, mapping config, detector hyper-parameters and
-  scalar state) plus the format header;
+* ``manifest.json`` — the pipeline's **declarative spec** (a
+  :class:`~repro.plan.PipelineSpec` document validated by the spec
+  layer) plus every JSON-able part of the *fitted* state (smoother
+  configs, selected basis sizes, detector state) and the format header;
 * ``arrays.npz`` — every NumPy array of the fitted state (evaluation
   grid, detector arrays such as isolation-tree nodes or support
   vectors), compressed, loaded with ``allow_pickle=False``.
@@ -14,22 +15,29 @@ placeholders naming their entry in the ``.npz`` bundle, so the manifest
 stays human-readable and the bundle stays pickle-free.  Nothing in the
 format references user code paths: loading never imports or executes
 anything beyond the :mod:`repro` registries (bases, mappings,
-detectors).
+detectors) via the plan compiler.
 
 Manifest format and versioning rules
 ------------------------------------
 The manifest header is ``{"format": "repro-pipeline",
-"format_version": N, "repro_version": ..., "state": {...}}``.
+"format_version": N, "repro_version": ..., "spec": {...},
+"state": {...}}``.
 
-* ``format_version`` is a single integer, currently ``1``.  A loader
-  accepts exactly the versions it knows (see :data:`FORMAT_VERSION`);
-  anything else raises :class:`~repro.exceptions.PersistenceError` —
-  fail loudly rather than mis-read arrays.
+* ``format_version`` is a single integer, currently ``2``.  Version 2
+  splits the document into a declarative ``spec`` section (parsed and
+  validated by :mod:`repro.plan.specs`) and a fitted ``state`` section;
+  version 1 kept hand-rolled config dicts inside ``state`` and is still
+  read via an explicit translation (:func:`_translate_v1`).  Anything
+  else raises :class:`~repro.exceptions.PersistenceError` — fail loudly
+  rather than mis-read arrays.
 * *Adding* optional keys to ``state`` is backward compatible and does
-  **not** bump the version (loaders must ignore unknown keys).
-* *Renaming/removing* keys, changing array shapes/semantics, or
-  changing the placeholder scheme **must** bump ``format_version`` and
-  teach :func:`load_pipeline` to translate old versions explicitly.
+  **not** bump the version (the state reader ignores unknown keys).
+  The ``spec`` section is different: it is parsed by the strict spec
+  validators (unknown keys are rejected with the valid-key list), so
+  **any** new spec key — like renaming/removing keys, changing array
+  shapes/semantics, or changing the placeholder scheme — **must** bump
+  ``format_version`` and teach :func:`load_pipeline` to translate old
+  versions explicitly.
 """
 
 from __future__ import annotations
@@ -45,15 +53,29 @@ from repro.core.pipeline import GeometricOutlierPipeline
 from repro.engine import ExecutionContext
 from repro.exceptions import PersistenceError, ReproError
 
-__all__ = ["FORMAT_VERSION", "MANIFEST_NAME", "ARRAYS_NAME", "save_pipeline", "load_pipeline"]
+__all__ = [
+    "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
+    "MANIFEST_NAME",
+    "ARRAYS_NAME",
+    "save_pipeline",
+    "load_pipeline",
+    "read_spec",
+]
 
-#: Current (and only) supported manifest format version.
-FORMAT_VERSION = 1
+#: Current manifest format version (see the module docstring).
+FORMAT_VERSION = 2
+
+#: Every version :func:`load_pipeline` can read.
+SUPPORTED_VERSIONS = (1, 2)
 
 MANIFEST_NAME = "manifest.json"
 ARRAYS_NAME = "arrays.npz"
 
 _ARRAY_MARKER = "__array__"
+
+#: Fitted-state sections every manifest must provide to be restorable.
+_REQUIRED_STATE_KEYS = ("smoothers", "eval_grid", "detector")
 
 
 def _flatten(node, path: str, arrays: dict):
@@ -95,19 +117,34 @@ def save_pipeline(pipeline: GeometricOutlierPipeline, path) -> Path:
     """Persist a fitted pipeline to directory ``path`` (created if needed).
 
     Writes ``manifest.json`` + ``arrays.npz`` (see the module docstring
-    for the format).  Returns the directory path.  The pipeline must be
-    fitted; saving never mutates it.
+    for the format).  The manifest's ``spec`` section is the pipeline's
+    :class:`~repro.plan.PipelineSpec`; the ``state`` section holds only
+    the fitted artifacts.  Returns the directory path.  The pipeline
+    must be fitted; saving never mutates it.
     """
+    from repro.plan import pipeline_to_spec
+
     if not isinstance(pipeline, GeometricOutlierPipeline):
         raise PersistenceError(
             f"can only save GeometricOutlierPipeline, got {type(pipeline).__name__}"
         )
     state = pipeline.export_fitted_state()
+    # The declarative parts live in the spec section now; keeping them in
+    # the state too would create two divergent sources of truth.  That
+    # includes the detector's constructor config: the loader re-injects
+    # it from spec.detector.params, so an edited spec section actually
+    # governs the restored detector.
+    state.pop("config", None)
+    state.pop("mapping", None)
+    state["detector"] = {
+        k: v for k, v in state["detector"].items() if k != "config"
+    }
     arrays: dict[str, np.ndarray] = {}
     manifest = {
         "format": "repro-pipeline",
         "format_version": FORMAT_VERSION,
         "repro_version": __version__,
+        "spec": pipeline_to_spec(pipeline).to_dict(),
         "state": _flatten(state, "", arrays),
     }
     path = Path(path)
@@ -131,13 +168,15 @@ def _read_manifest(path: Path) -> dict:
     if not isinstance(manifest, dict) or manifest.get("format") != "repro-pipeline":
         raise PersistenceError(f"{manifest_path} is not a repro pipeline manifest")
     version = manifest.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise PersistenceError(
             f"unsupported pipeline format version {version!r} in {manifest_path} "
-            f"(this build reads version {FORMAT_VERSION})"
+            f"(this build reads versions {list(SUPPORTED_VERSIONS)})"
         )
     if "state" not in manifest:
         raise PersistenceError(f"{manifest_path} has no 'state' section")
+    if version >= 2 and "spec" not in manifest:
+        raise PersistenceError(f"{manifest_path} has no 'spec' section")
     return manifest
 
 
@@ -152,9 +191,69 @@ def _read_arrays(path: Path) -> dict:
         raise PersistenceError(f"cannot read pipeline arrays {arrays_path}: {exc}") from exc
 
 
+def _translate_v1(state: dict):
+    """Derive the (spec, state) pair of the v2 layout from a v1 ``state``.
+
+    Version-1 manifests carried the declarative configuration as
+    hand-rolled dicts inside the state (``config``, ``mapping``, and
+    the detector's ``config``); lift those into a validated
+    :class:`~repro.plan.PipelineSpec`.  Only JSON scalars are touched,
+    so this works on flattened (array-placeholder) state too.
+    """
+    from repro.plan import DetectorSpec, MappingSpec, PipelineSpec, SmootherSpec
+    from repro.plan.compile import _DETECTOR_NAME_BY_CLASS
+
+    for key in ("mapping", "detector"):
+        if key not in state:
+            raise PersistenceError(f"v1 manifest state is missing {key!r}")
+    config = state.get("config", {})
+    detector_state = state["detector"]
+    detector_name = _DETECTOR_NAME_BY_CLASS.get(detector_state.get("type"))
+    if detector_name is None:
+        raise PersistenceError(
+            f"v1 manifest names unknown detector type {detector_state.get('type')!r}"
+        )
+    spec = PipelineSpec(
+        detector=DetectorSpec(detector_name, dict(detector_state.get("config", {}))),
+        mapping=MappingSpec.from_config(state["mapping"]),
+        smoother=SmootherSpec(
+            smoothing=float(config.get("smoothing", 1e-4)),
+            penalty_order=int(config.get("penalty_order", 2)),
+            spline_order=int(config.get("spline_order", 4)),
+        ),
+    )
+    return spec, state
+
+
+def read_spec(path):
+    """Read and validate just the declarative spec of a saved pipeline.
+
+    Cheap (no array bundle is opened): used by ``repro plan validate``
+    to check manifests in bulk.  V1 manifests are translated through
+    the same path :func:`load_pipeline` uses.
+    """
+    from repro.exceptions import ConfigurationError
+    from repro.plan import PipelineSpec
+
+    path = Path(path)
+    manifest = _read_manifest(path)
+    try:
+        if manifest["format_version"] == 1:
+            spec, _ = _translate_v1(manifest["state"])
+        else:
+            spec = PipelineSpec.from_dict(manifest["spec"])
+    except ConfigurationError as exc:
+        raise PersistenceError(f"invalid pipeline spec in {path}: {exc}") from exc
+    return spec
+
+
 def load_pipeline(path, context: ExecutionContext | None = None) -> GeometricOutlierPipeline:
     """Load a pipeline saved by :func:`save_pipeline`, ready to score.
 
+    The declarative section is parsed and validated by the spec layer,
+    then lowered through the plan compiler
+    (:func:`~repro.plan.restore_pipeline`); the fitted artifacts are
+    injected on top — scores are bit-identical to the saved pipeline.
     ``context`` optionally attaches the restored pipeline to a shared
     serving :class:`~repro.engine.ExecutionContext` so repeated loads
     and subsequent scoring share one factorization cache.
@@ -163,6 +262,8 @@ def load_pipeline(path, context: ExecutionContext | None = None) -> GeometricOut
     directory, manifest or array bundle is missing, corrupt, or declares
     an unsupported format version.
     """
+    from repro.plan import PipelineSpec, restore_pipeline
+
     path = Path(path)
     if not path.is_dir():
         raise PersistenceError(f"no saved pipeline directory at {path}")
@@ -170,6 +271,16 @@ def load_pipeline(path, context: ExecutionContext | None = None) -> GeometricOut
     arrays = _read_arrays(path)
     state = _unflatten(manifest["state"], arrays)
     try:
-        return GeometricOutlierPipeline.from_fitted_state(state, context=context)
+        if manifest["format_version"] == 1:
+            spec, state = _translate_v1(state)
+        else:
+            spec = PipelineSpec.from_dict(manifest["spec"])
+    except ReproError as exc:
+        raise PersistenceError(f"invalid pipeline spec in {path}: {exc}") from exc
+    missing = [key for key in _REQUIRED_STATE_KEYS if key not in state]
+    if missing:
+        raise PersistenceError(f"manifest state in {path} is missing keys: {missing}")
+    try:
+        return restore_pipeline(spec, state, context=context)
     except ReproError as exc:
         raise PersistenceError(f"cannot restore pipeline from {path}: {exc}") from exc

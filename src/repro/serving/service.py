@@ -31,7 +31,7 @@ reference streams.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterator
 
 import numpy as np
 
@@ -41,7 +41,8 @@ from repro.depth.funta import funta_outlyingness
 from repro.engine import ExecutionContext
 from repro.engine.cache import _grid_key
 from repro.exceptions import NotFittedError, ValidationError
-from repro.fda.fdata import FDataGrid, MFDataGrid, as_mfd
+from repro.fda.fdata import MFDataGrid, as_mfd
+from repro.plan.executor import iter_curve_chunks, run_chunked
 from repro.serving.persist import load_pipeline
 from repro.streaming.online import StreamBatchResult, StreamingDetector
 from repro.utils.validation import check_int
@@ -53,36 +54,6 @@ __all__ = [
     "iter_curve_chunks",
     "score_stream",
 ]
-
-
-def iter_curve_chunks(data, chunk_size: int = 256) -> Iterator[MFDataGrid]:
-    """Normalize any stream source into bounded-size MFDataGrid chunks.
-
-    ``data`` may be a single (M)FDataGrid (sliced ``chunk_size`` curves
-    at a time) or any iterable/iterator/generator of (M)FDataGrid
-    batches — true stream sources are consumed lazily, one batch at a
-    time, never materialized.  The shared front door of every chunked
-    scoring path (:func:`score_stream`, the service streaming routes,
-    ``repro stream-score``).
-    """
-    chunk_size = check_int(chunk_size, "chunk_size", minimum=1)
-    if isinstance(data, (FDataGrid, MFDataGrid)):
-        mfd = as_mfd(data)
-        for start in range(0, mfd.n_samples, chunk_size):
-            yield mfd[start : start + chunk_size]
-        return
-    if isinstance(data, np.ndarray):
-        raise ValidationError(
-            "raw arrays are ambiguous stream sources; wrap them in an "
-            "(M)FDataGrid (values + grid) first"
-        )
-    if isinstance(data, Iterable):
-        for batch in data:
-            yield as_mfd(batch)
-        return
-    raise ValidationError(
-        f"data must be (M)FDataGrid or an iterable of batches, got {type(data).__name__}"
-    )
 
 
 def score_stream(
@@ -98,10 +69,12 @@ def score_stream(
     never materialized).  Peak memory is bounded by one chunk's feature
     matrix regardless of the dataset size; concatenating the yielded
     arrays reproduces ``pipeline.score_samples(data)`` exactly, because
-    both smoothing and detection are per-curve operations.
+    both smoothing and detection are per-curve operations.  The chunk
+    bookkeeping is the plan executor's
+    :func:`~repro.plan.executor.run_chunked` — the single chunked
+    execution path shared with the service streaming routes.
     """
-    for chunk in iter_curve_chunks(data, chunk_size=chunk_size):
-        yield pipeline.score_samples(chunk)
+    return run_chunked(pipeline.score_samples, data, chunk_size=chunk_size)
 
 
 class DepthScorer:
@@ -389,6 +362,11 @@ class ScoringService:
         self.flushes += 1
         return len(queue)
 
+    def _count_traffic(self, chunk, _result) -> None:
+        """`run_chunked` observe hook: fold one served chunk into the stats."""
+        self.served_curves += chunk.n_samples
+        self.served_requests += 1
+
     def stream(self, name: str, data, chunk_size: int = 256) -> Iterator[StreamBatchResult]:
         """Online route: feed chunks through streaming detector ``name``.
 
@@ -405,11 +383,9 @@ class ScoringService:
                 f"pipeline {name!r} is not a StreamingDetector; "
                 "use score_stream() for fixed-reference chunked scoring"
             )
-        for chunk in iter_curve_chunks(data, chunk_size=chunk_size):
-            result = detector.process(chunk)
-            self.served_curves += chunk.n_samples
-            self.served_requests += 1
-            yield result
+        return run_chunked(
+            detector.process, data, chunk_size=chunk_size, observe=self._count_traffic
+        )
 
     def score_stream(self, name: str, data, chunk_size: int = 256) -> Iterator[np.ndarray]:
         """Stream scores for a large dataset through pipeline ``name``.
@@ -418,23 +394,23 @@ class ScoringService:
         this is the online route of :meth:`stream` reduced to its score
         arrays; curves consumed during the detector's warm-up have no
         score yet and come back as ``NaN`` so the concatenated output
-        still aligns one-to-one with the input curves.
+        still aligns one-to-one with the input curves.  Both routes run
+        on the plan executor's single chunked path.
         """
         pipeline = self._pipeline(name)
         if isinstance(pipeline, StreamingDetector):
-            for chunk in iter_curve_chunks(data, chunk_size=chunk_size):
+            def online_scores(chunk) -> np.ndarray:
                 result = pipeline.process(chunk)
-                self.served_curves += chunk.n_samples
-                self.served_requests += 1
                 if result.scores is None:
-                    yield np.full(chunk.n_samples, np.nan)
-                else:
-                    yield result.scores
-            return
-        for scores in score_stream(pipeline, data, chunk_size=chunk_size):
-            self.served_curves += scores.shape[0]
-            self.served_requests += 1
-            yield scores
+                    return np.full(chunk.n_samples, np.nan)
+                return result.scores
+
+            return run_chunked(
+                online_scores, data, chunk_size=chunk_size, observe=self._count_traffic
+            )
+        return run_chunked(
+            pipeline.score_samples, data, chunk_size=chunk_size, observe=self._count_traffic
+        )
 
     # ------------------------------------------------------------------ stats
     def stats(self) -> dict:

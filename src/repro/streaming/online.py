@@ -655,6 +655,19 @@ class StreamingDetector:
         self.n_flagged = 0
         self.n_rereferences = 0
 
+    # ------------------------------------------------------------------ specs
+    @classmethod
+    def from_spec(cls, spec, context=None) -> "StreamingDetector":
+        """Construct a detector (window + threshold + drift) from a spec.
+
+        ``spec`` is a :class:`~repro.plan.StreamSpec` (or its tagged
+        dict form); construction delegates to the plan compiler — the
+        same path ``repro stream-score`` uses.
+        """
+        from repro.plan import compile_plan
+
+        return compile_plan(spec, context=context).build()
+
     # ------------------------------------------------------------------ plumbing
     @property
     def n_reference(self) -> int:

@@ -1,0 +1,235 @@
+"""Property suite: spec → JSON → spec → compile → score bit-identity.
+
+The plan layer's core promise is that the declarative path is a *pure
+re-encoding*: for every registered detector, mapping, smoother
+configuration and Figure-3 method, serializing the spec to JSON,
+parsing it back, compiling it and scoring is **bit-identical** to
+constructing the objects directly.  Hypothesis drives the parameter
+space; the registries drive the coverage sweep.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.methods import (
+    DirOutMethod,
+    FuntaMethod,
+    MappedDetectorMethod,
+)
+from repro.core.pipeline import GeometricOutlierPipeline
+from repro.data.synthetic import make_taxonomy_dataset
+from repro.detectors import DETECTOR_REGISTRY, make_detector
+from repro.geometry.mappings import MAPPING_REGISTRY, mapping_from_config
+from repro.plan import (
+    DetectorSpec,
+    MappingSpec,
+    MethodSpec,
+    PipelineSpec,
+    SmootherSpec,
+    compile_plan,
+    spec_from_json,
+    spec_to_json,
+)
+
+COMMON = settings(max_examples=8, deadline=None)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    data, _ = make_taxonomy_dataset(
+        "correlation", n_inliers=24, n_outliers=4, random_state=9
+    )
+    return data
+
+
+def _round_trip(spec):
+    """JSON round trip, asserting exact spec equality on the way."""
+    restored = spec_from_json(spec_to_json(spec))
+    assert restored == spec
+    return restored
+
+
+#: Hypothesis strategies for each registered detector's constructor
+#: space (kept tiny so fits stay fast and every detector is valid on
+#: the 28-curve module dataset).
+DETECTOR_PARAMS = {
+    "iforest": st.fixed_dictionaries({
+        "n_estimators": st.integers(5, 20),
+        "max_samples": st.integers(4, 16),
+        "random_state": st.integers(0, 3),
+    }),
+    "ocsvm": st.fixed_dictionaries({
+        "nu": st.sampled_from([0.1, 0.2, 0.5]),
+        "kernel": st.sampled_from(["rbf", "linear"]),
+    }),
+    "knn": st.fixed_dictionaries({
+        "n_neighbors": st.integers(1, 4),
+        "aggregation": st.sampled_from(["kth", "mean"]),
+    }),
+    "lof": st.fixed_dictionaries({"n_neighbors": st.integers(2, 6)}),
+    "mahalanobis": st.fixed_dictionaries({
+        "trim": st.sampled_from([0.0, 0.1, 0.2]),
+        "shrinkage": st.sampled_from([0.05, 0.1]),
+    }),
+}
+
+assert set(DETECTOR_PARAMS) == set(DETECTOR_REGISTRY), (
+    "a newly registered detector needs a strategy here so the plan "
+    "round-trip property keeps covering the whole registry"
+)
+
+
+@pytest.mark.parametrize("name", sorted(DETECTOR_REGISTRY))
+def test_every_detector_round_trips_to_identical_scores(name, dataset):
+    @COMMON
+    @given(params=DETECTOR_PARAMS[name])
+    def run(params):
+        spec = _round_trip(PipelineSpec(
+            detector=DetectorSpec(name, params),
+            smoother=SmootherSpec(n_basis=8),
+        ))
+        compiled = compile_plan(spec).fit(dataset)
+        direct = GeometricOutlierPipeline(
+            make_detector(name, **params), n_basis=8
+        ).fit(dataset)
+        np.testing.assert_array_equal(
+            compiled.score_samples(dataset), direct.score_samples(dataset)
+        )
+
+    run()
+
+
+def _mapping_case(cls_name):
+    """A valid (spec, dataset kwargs) pair for one registered mapping."""
+    cls = MAPPING_REGISTRY[cls_name]
+    p = max(getattr(cls, "min_dimension", 1), 2)
+    spline_order = max(4, cls.required_derivatives + 1)
+    return p, spline_order
+
+
+@pytest.mark.parametrize("cls_name", sorted(MAPPING_REGISTRY))
+def test_every_mapping_round_trips_to_identical_scores(cls_name):
+    p, spline_order = _mapping_case(cls_name)
+    rng = np.random.default_rng(4)
+    grid = np.linspace(0.0, 1.0, 30)
+    from repro.fda.fdata import MFDataGrid
+
+    values = np.cumsum(rng.standard_normal((16, 30, p)), axis=1) * 0.1
+    data = MFDataGrid(values, grid)
+    spec = _round_trip(PipelineSpec(
+        detector=DetectorSpec("mahalanobis"),
+        mapping=MappingSpec(cls_name),
+        smoother=SmootherSpec(n_basis=8, spline_order=spline_order),
+    ))
+    compiled = compile_plan(spec).fit(data)
+    direct = GeometricOutlierPipeline(
+        make_detector("mahalanobis"),
+        mapping=mapping_from_config({"type": cls_name, "params": {}}),
+        n_basis=8,
+        spline_order=spline_order,
+    ).fit(data)
+    np.testing.assert_array_equal(
+        compiled.score_samples(data), direct.score_samples(data)
+    )
+
+
+def test_composite_mapping_round_trips_to_identical_scores(dataset):
+    spec = _round_trip(PipelineSpec(
+        detector=DetectorSpec("mahalanobis"),
+        mapping=MappingSpec("CompositeMapping", mappings=(
+            MappingSpec("CurvatureMapping"), MappingSpec("SpeedMapping"),
+        )),
+        smoother=SmootherSpec(n_basis=8),
+    ))
+    compiled = compile_plan(spec).fit(dataset)
+    direct = GeometricOutlierPipeline(
+        make_detector("mahalanobis"),
+        mapping=mapping_from_config({
+            "type": "CompositeMapping",
+            "mappings": [
+                {"type": "CurvatureMapping", "params": {}},
+                {"type": "SpeedMapping", "params": {}},
+            ],
+        }),
+        n_basis=8,
+    ).fit(dataset)
+    np.testing.assert_array_equal(
+        compiled.score_samples(dataset), direct.score_samples(dataset)
+    )
+
+
+@COMMON
+@given(
+    n_basis=st.one_of(
+        st.none(),
+        st.integers(6, 14),
+        st.lists(st.integers(6, 14), min_size=1, max_size=3, unique=True),
+    ),
+    smoothing=st.sampled_from([0.0, 1e-6, 1e-4, 1e-2]),
+    penalty_order=st.integers(0, 3),
+)
+def test_smoother_spec_space_round_trips(n_basis, smoothing, penalty_order):
+    spec = SmootherSpec(
+        n_basis=n_basis, smoothing=smoothing, penalty_order=penalty_order
+    )
+    assert SmootherSpec.from_dict(spec.to_dict()) == spec
+
+
+@COMMON
+@given(smoothing=st.sampled_from([1e-5, 1e-4, 1e-3]), n_basis=st.integers(6, 12))
+def test_smoother_configuration_round_trips_to_identical_scores(
+    smoothing, n_basis, dataset
+):
+    spec = _round_trip(PipelineSpec(
+        detector=DetectorSpec("mahalanobis"),
+        smoother=SmootherSpec(n_basis=n_basis, smoothing=smoothing),
+    ))
+    compiled = compile_plan(spec).fit(dataset)
+    direct = GeometricOutlierPipeline(
+        make_detector("mahalanobis"), n_basis=n_basis, smoothing=smoothing
+    ).fit(dataset)
+    np.testing.assert_array_equal(
+        compiled.score_samples(dataset), direct.score_samples(dataset)
+    )
+
+
+_METHOD_DIRECT = {
+    "funta": lambda params: FuntaMethod(**params),
+    "dirout": lambda params: DirOutMethod(**params),
+    "iforest": lambda params: MappedDetectorMethod("iforest", **params),
+    "ocsvm": lambda params: MappedDetectorMethod("ocsvm", **params),
+}
+
+METHOD_PARAMS = {
+    "funta": st.fixed_dictionaries({"trim": st.sampled_from([0.0, 0.1])}),
+    "dirout": st.fixed_dictionaries({"n_directions": st.integers(20, 60)}),
+    "iforest": st.fixed_dictionaries({
+        "n_basis": st.just(8),
+        "n_estimators": st.integers(5, 15),
+    }),
+    "ocsvm": st.fixed_dictionaries({
+        "n_basis": st.just(8),
+        "tune": st.just(False),
+        "nu": st.sampled_from([0.1, 0.2]),
+    }),
+}
+
+
+@pytest.mark.parametrize("kind", sorted(_METHOD_DIRECT))
+def test_every_method_round_trips_to_identical_scores(kind, dataset):
+    idx = np.arange(dataset.n_samples)
+
+    @COMMON
+    @given(params=METHOD_PARAMS[kind], seed=st.integers(0, 2))
+    def run(params, seed):
+        spec = _round_trip(MethodSpec(kind, params))
+        compiled = compile_plan(spec).build()
+        direct = _METHOD_DIRECT[kind](dict(params))
+        np.testing.assert_array_equal(
+            compiled.score_dataset(dataset, idx, idx, random_state=seed),
+            direct.score_dataset(dataset, idx, idx, random_state=seed),
+        )
+
+    run()

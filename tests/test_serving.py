@@ -201,7 +201,7 @@ class TestPersistenceErrors:
         with pytest.raises(PersistenceError, match="cannot read"):
             load_pipeline(tmp_path / "model")
 
-    @pytest.mark.parametrize("dropped", ["mapping", "eval_grid", "smoothers", "detector"])
+    @pytest.mark.parametrize("dropped", ["eval_grid", "smoothers", "detector"])
     def test_truncated_state_raises_persistence_error(self, dataset, tmp_path, dropped):
         """Missing state sections surface as PersistenceError, not KeyError."""
         data, _ = dataset
@@ -211,6 +211,29 @@ class TestPersistenceErrors:
         del manifest["state"][dropped]
         manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
         with pytest.raises(PersistenceError):
+            load_pipeline(tmp_path / "model")
+
+    @pytest.mark.parametrize("section", ["spec", "state"])
+    def test_missing_manifest_section_raises(self, dataset, tmp_path, section):
+        """A v2 manifest without its spec/state section fails loudly."""
+        data, _ = dataset
+        save_pipeline(_fitted_pipeline(data), tmp_path / "model")
+        manifest_path = tmp_path / "model" / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        del manifest[section]
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(PersistenceError, match=section):
+            load_pipeline(tmp_path / "model")
+
+    def test_invalid_spec_section_raises(self, dataset, tmp_path):
+        """A corrupted spec section surfaces the validator's message."""
+        data, _ = dataset
+        save_pipeline(_fitted_pipeline(data), tmp_path / "model")
+        manifest_path = tmp_path / "model" / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest["spec"]["detector"] = {"name": "not-a-detector"}
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(PersistenceError, match="unknown detector"):
             load_pipeline(tmp_path / "model")
 
 
