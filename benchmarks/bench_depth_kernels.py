@@ -8,15 +8,31 @@ the CI gate: every *gated* kernel's vectorized path must beat its naive
 loop (the remaining rows are informational — their cost is dominated by
 work both paths share, e.g. the medians inside projection depth).
 
+The pooled case re-runs the gated kernels through a 2-worker
+shared-memory :class:`~repro.engine.ExecutionContext` and asserts (a)
+the pool posts wall-clock ahead of serial on a scaled workload — only
+on machines with at least 2 cores, a 1-core runner can't win by
+forking — and (b) every shared-memory segment is unlinked afterwards,
+on the success path and when a worker raises mid-run.
+
 Set ``REPRO_BENCH_QUICK=1`` for the CI smoke configuration (the
 acceptance setting n=200, m=100); the default run uses a larger
 workload.  ``repro bench-depth`` exposes the same measurement from the
-CLI.
+CLI (``--scale --n-jobs K`` for the pooled scoring flavour).
 """
 
 import os
 
-from repro.perf import append_bench_record, format_bench_rows, run_depth_kernel_bench
+import numpy as np
+import pytest
+
+from repro.engine import ExecutionContext, live_segments
+from repro.perf import (
+    append_bench_record,
+    format_bench_rows,
+    run_depth_kernel_bench,
+    run_scaled_depth_bench,
+)
 
 from benchmarks.conftest import BENCH_SEED, print_table
 
@@ -25,6 +41,12 @@ QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
 N = 200 if QUICK else 300
 M = 100 if QUICK else 150
 REPEATS = 2 if QUICK else 3
+
+# Scaled pooled workload: big enough that per-block work dwarfs the
+# fork + pickle overhead, small enough for a CI smoke step.
+SCALED_N = 20_000 if QUICK else 100_000
+SCALED_M = 48
+SCALED_REF = 256
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -50,3 +72,57 @@ def test_depth_kernel_speedups():
                 f"{r['kernel']}: vectorized ({r['vectorized_s']:.4f}s) slower "
                 f"than naive ({r['naive_s']:.4f}s)"
             )
+    assert not live_segments(), f"leaked shared segments: {live_segments()}"
+
+
+def test_depth_kernel_pool_scaled():
+    """Pooled scoring on the scaled workload: faster than serial, no leaks.
+
+    Every row's pooled output is already asserted bit-identical to the
+    serial vectorized one inside :func:`run_scaled_depth_bench`
+    (rtol=0, atol=0); this gate adds the wall-clock claim.
+    """
+    record = run_scaled_depth_bench(
+        n=SCALED_N, n_ref=SCALED_REF, m=SCALED_M,
+        seed=BENCH_SEED, repeats=1, n_jobs=2, quick=QUICK,
+    )
+    append_bench_record(os.path.join(_REPO_ROOT, "BENCH_depth_kernels.json"), record)
+
+    headers, rows = format_bench_rows(record)
+    print_table(
+        f"Depth kernels (scaled) — n={SCALED_N}, n_ref={SCALED_REF}, "
+        f"m={SCALED_M}, n_jobs=2",
+        headers,
+        rows,
+    )
+
+    assert not live_segments(), f"leaked shared segments: {live_segments()}"
+    for r in record["results"]:
+        assert r["pool_s"] is not None, f"{r['kernel']}: no pooled timing recorded"
+
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("pool-beats-serial needs >= 2 cores")
+    beats = [r for r in record["results"] if r["pool_s"] < r["vectorized_s"]]
+    assert beats, (
+        "2-worker pool beat serial on no kernel of the scaled workload: "
+        + ", ".join(
+            f"{r['kernel']} {r['vectorized_s']:.3f}s->{r['pool_s']:.3f}s"
+            for r in record["results"]
+        )
+    )
+
+
+def _explode(block, values):
+    raise RuntimeError("boom")
+
+
+def test_pool_unlinks_on_worker_failure():
+    """Shared segments must be unlinked even when a pooled worker raises."""
+    rng = np.random.default_rng(BENCH_SEED)
+    values = rng.standard_normal((64, 32))
+    context = ExecutionContext(n_jobs=2)
+
+    blocks = [(0, 32), (32, 64)]
+    with pytest.raises(RuntimeError, match="boom"):
+        context.run_blocks(_explode, blocks, arrays={"values": values})
+    assert not live_segments(), f"leaked shared segments: {live_segments()}"

@@ -175,20 +175,46 @@ def _load_batch_npz(path):
 
 
 def run_bench_depth(args) -> None:
-    """bench-depth: time the depth kernels, persist the perf datapoint."""
-    from repro.perf import append_bench_record, format_bench_rows, run_depth_kernel_bench
+    """bench-depth: time the depth kernels, persist the perf datapoint.
 
-    record = run_depth_kernel_bench(
-        n=args.n,
-        m=args.m,
-        seed=args.seed,
-        repeats=args.repeats,
-        n_jobs=args.n_jobs,
-        quick=args.quick,
+    ``--scale`` swaps the naive-vs-vectorized gate workload for the
+    large scoring workload (no naive oracle timings — at 100k curves
+    the loop kernels would dominate the run); ``--n`` defaults per
+    mode (200 normal, 100_000 scaled).
+    """
+    from repro.perf import (
+        append_bench_record,
+        format_bench_rows,
+        run_depth_kernel_bench,
+        run_scaled_depth_bench,
     )
+
+    if args.scale:
+        n = 100_000 if args.n is None else args.n
+        record = run_scaled_depth_bench(
+            n=n,
+            n_ref=args.n_ref,
+            m=args.m,
+            seed=args.seed,
+            repeats=args.repeats,
+            n_jobs=args.n_jobs,
+            quick=args.quick,
+        )
+        title = f"Depth kernels (scaled) — n={n}, n_ref={args.n_ref}, m={args.m}"
+    else:
+        n = 200 if args.n is None else args.n
+        record = run_depth_kernel_bench(
+            n=n,
+            m=args.m,
+            seed=args.seed,
+            repeats=args.repeats,
+            n_jobs=args.n_jobs,
+            quick=args.quick,
+        )
+        title = f"Depth kernels — n={n}, m={args.m}"
     headers, rows = format_bench_rows(record)
     _print_table(
-        f"Depth kernels — n={args.n}, m={args.m}, git {record['git_sha'][:12]}",
+        f"{title}, git {record['git_sha'][:12]}",
         headers,
         rows,
     )
@@ -408,7 +434,9 @@ def build_parser() -> argparse.ArgumentParser:
         "bench-depth",
         help="time naive vs vectorized depth kernels; append the "
              "machine-readable record to the perf trajectory")
-    bench.add_argument("--n", type=int, default=200, help="curves in the workload")
+    bench.add_argument("--n", type=int, default=None,
+                       help="curves in the workload "
+                            "(default 200, or 100000 with --scale)")
     bench.add_argument("--m", type=int, default=100, help="grid points per curve")
     bench.add_argument("--seed", type=int, default=7, help="workload random seed")
     bench.add_argument("--repeats", type=int, default=2,
@@ -416,6 +444,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--n-jobs", type=int, default=1,
                        help="also time the kernels fanned out over this many "
                             "workers (1 = skip the pool column)")
+    bench.add_argument("--scale", action="store_true",
+                       help="run the large scoring workload instead of the "
+                            "naive-vs-vectorized gate (skips naive timings)")
+    bench.add_argument("--n-ref", type=int, default=256,
+                       help="reference curves for the --scale workload")
     bench.add_argument("--quick", action="store_true",
                        help="mark the record as a quick-mode datapoint")
     bench.add_argument("--output", default="BENCH_depth_kernels.json",

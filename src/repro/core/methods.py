@@ -270,12 +270,14 @@ class FuntaMethod(Method):
         name: str = "FUNTA",
         naive: bool = False,
         block_bytes: int | None = None,
+        dtype=None,
     ):
         self.trim = trim
         self.smooth = bool(smooth)
         self.name = name
         self.naive = bool(naive)
         self.block_bytes = block_bytes
+        self.dtype = dtype
 
     def prepare(self, data, random_state=None, context=None):
         data = _as_mfd(data)
@@ -290,7 +292,7 @@ class FuntaMethod(Method):
         test = data[np.asarray(test_idx)]
         return funta_outlyingness(
             test, reference=train, trim=self.trim,
-            naive=self.naive, block_bytes=self.block_bytes,
+            naive=self.naive, block_bytes=self.block_bytes, dtype=self.dtype,
         )
 
 
@@ -310,6 +312,7 @@ class DirOutMethod(Method):
         name: str = "Dir.out",
         naive: bool = False,
         block_bytes: int | None = None,
+        dtype=None,
     ):
         self.method = method
         self.n_directions = n_directions
@@ -317,6 +320,7 @@ class DirOutMethod(Method):
         self.name = name
         self.naive = bool(naive)
         self.block_bytes = block_bytes
+        self.dtype = dtype
 
     def prepare(self, data, random_state=None, context=None):
         data = _as_mfd(data)
@@ -337,6 +341,7 @@ class DirOutMethod(Method):
             random_state=random_state,
             naive=self.naive,
             block_bytes=self.block_bytes,
+            dtype=self.dtype,
         )
 
 

@@ -47,6 +47,7 @@ __all__ = [
     "DEFAULT_BLOCK_BYTES",
     "MAD_SCALE",
     "resolve_block_bytes",
+    "resolve_dtype",
     "draw_directions",
     "rank_counts",
     "funta_univariate",
@@ -67,6 +68,13 @@ MAD_SCALE = 1.4826
 
 _HALF_PI = np.pi / 2.0
 
+#: Numeric backends the kernels compute in.  float64 is the reference
+#: (and the oracle); float32 is the fast path gated by the plan layer's
+#: ``WorkloadSpec.dtype`` — half the memory traffic on the slab-shaped
+#: temporaries, scores within a pinned ULP distance of the float64
+#: oracle (see ``tests/test_float32_path.py``).
+SUPPORTED_DTYPES = ("float64", "float32")
+
 
 def resolve_block_bytes(block_bytes) -> int:
     """Validate ``block_bytes`` (``None`` → :data:`DEFAULT_BLOCK_BYTES`)."""
@@ -77,6 +85,28 @@ def resolve_block_bytes(block_bytes) -> int:
     if block_bytes <= 0:
         raise ValidationError(f"block_bytes must be a positive int, got {block_bytes!r}")
     return int(block_bytes)
+
+
+def resolve_dtype(dtype) -> np.dtype:
+    """Validate a kernel compute dtype (``None`` → float64)."""
+    if dtype is None:
+        return np.dtype(np.float64)
+    resolved = np.dtype(dtype)
+    if resolved.name not in SUPPORTED_DTYPES:
+        raise ValidationError(
+            f"kernel dtype must be one of {list(SUPPORTED_DTYPES)}, got {dtype!r}"
+        )
+    return resolved
+
+
+def _as_dtype_pair(values, ref_values, dtype: np.dtype):
+    """Cast a (values, reference) pair to the compute dtype, preserving
+    object identity for the self-scoring fast paths (``values is
+    ref_values`` stays true after the cast)."""
+    same = values is ref_values
+    values = np.asarray(values, dtype=dtype)
+    ref_values = values if same else np.asarray(ref_values, dtype=dtype)
+    return values, ref_values
 
 
 def draw_directions(random_state, n_directions: int, p: int) -> np.ndarray:
@@ -101,22 +131,21 @@ def _direction_stack(random_state, n_directions: int, p: int, m: int) -> np.ndar
     return stack
 
 
-def _apply_blocks(worker, group):
-    """Run ``worker`` over a group of blocks (module-level: must pickle)."""
-    return [worker(block) for block in group]
+def _run_blocks(worker, blocks, context, arrays=None):
+    """Apply ``worker(block, **arrays)`` to every block, optionally pooled.
 
-
-def _run_blocks(worker, blocks, context):
-    """Apply ``worker`` to every block, optionally over the context pool.
-
-    Whole blocks are the work units and results come back in input
-    order, so the pooled result is bit-identical to the serial one.
+    ``arrays`` holds the large read-only inputs (curve cubes, direction
+    stacks, tangent angles).  Serial execution passes them straight
+    through; a parallel :class:`~repro.engine.ExecutionContext` places
+    them in a :class:`~repro.engine.shared.SharedArrayPool` once and the
+    workers attach zero-copy (``context.run_blocks``).  Whole blocks are
+    the work units and results come back in input order, so the pooled
+    result is bit-identical to the serial one.
     """
+    arrays = dict(arrays or {})
     if context is None or getattr(context, "n_jobs", 1) <= 1 or len(blocks) <= 1:
-        return [worker(block) for block in blocks]
-    groups = context.distribute(blocks)
-    parts = context.map(functools.partial(_apply_blocks, worker), groups)
-    return [result for group in parts for result in group]
+        return [worker(block, **arrays) for block in blocks]
+    return context.run_blocks(worker, blocks, arrays=arrays)
 
 
 # --------------------------------------------------------------------------- ranks
@@ -330,6 +359,7 @@ def funta_univariate(
     context=None,
     theta_pts: np.ndarray | None = None,
     theta_ref: np.ndarray | None = None,
+    dtype=None,
 ) -> np.ndarray:
     """Blocked vectorized FUNTA depth (one parameter).
 
@@ -344,27 +374,35 @@ def funta_univariate(
     ``arctan`` entirely; because the cached values are produced by the
     identical elementwise computation, injection is bit-identical to
     recomputing.
+
+    ``dtype`` selects the compute precision of the difference/angle
+    slabs (the memory-bound part); counts and the final aggregation stay
+    float64 either way.
     """
     block_bytes = resolve_block_bytes(block_bytes)
+    compute_dtype = resolve_dtype(dtype)
+    values, ref_values = _as_dtype_pair(values, ref_values, compute_dtype)
     n, m = values.shape
-    dt = np.diff(grid)
+    dt = np.diff(np.asarray(grid, dtype=compute_dtype))
     if theta_pts is None:
         theta_pts = np.arctan(np.diff(values, axis=1) / dt)
+    else:
+        theta_pts = np.asarray(theta_pts, dtype=compute_dtype)
     if theta_ref is None:
         theta_ref = np.arctan(np.diff(ref_values, axis=1) / dt)
-    # Scratch per row: one float64 difference slab + four boolean masks.
-    bytes_per_row = ref_values.shape[0] * m * (8 + 4) * 1.3
+    else:
+        theta_ref = np.asarray(theta_ref, dtype=compute_dtype)
+    # Scratch per row: one difference slab + four boolean masks.
+    bytes_per_row = ref_values.shape[0] * m * (compute_dtype.itemsize + 4) * 1.3
     blocks = row_blocks(n, bytes_per_row, block_bytes)
-    worker = functools.partial(
-        _funta_block,
-        values=values,
-        ref_values=ref_values,
-        theta_pts=theta_pts,
-        theta_ref=theta_ref,
-        trim=trim,
-        same=same,
-    )
-    return np.concatenate(_run_blocks(worker, blocks, context))
+    worker = functools.partial(_funta_block, trim=trim, same=same)
+    arrays = {
+        "values": values,
+        "ref_values": ref_values,
+        "theta_pts": theta_pts,
+        "theta_ref": theta_ref,
+    }
+    return np.concatenate(_run_blocks(worker, blocks, context, arrays))
 
 
 # --------------------------------------------------------------------------- SDO
@@ -397,27 +435,34 @@ def _sdo_block(
     ref_values: np.ndarray,
     directions: np.ndarray,
 ) -> np.ndarray:
-    """Stahel–Donoho outlyingness for one contiguous grid-point block."""
+    """Stahel–Donoho outlyingness for one contiguous grid-point block.
+
+    One lane-major batched GEMM per cube — ``(J, d, p) @ (J, p, r)``
+    lands every direction's projections on the contiguous last axis, so
+    the median partitions run straight on the GEMM output with no
+    transpose copy in between.  Medians/MAD are selection statistics, so
+    both partitions run in place (the scrambled lane order leaves the
+    deviation multiset unchanged).
+    """
     j0, j1 = block
-    proj_ref = _project_block(ref_values, directions, j0, j1)  # (J, r, d)
-    # Medians partition along the reference axis: make it contiguous.
-    # The copy is ours, and medians/MAD are selection statistics —
-    # order within a lane is irrelevant — so both medians may partition
-    # in place instead of copying again.
-    ref_lanes = np.ascontiguousarray(proj_ref.transpose(0, 2, 1))  # (J, d, r)
+    dirs = directions[j0:j1]  # (J, d, p)
+    ref_lanes = np.matmul(dirs, ref_values[:, j0:j1].transpose(1, 2, 0))  # (J, d, r)
+    if values is ref_values:
+        # Self-scoring: queries are the reference projections; copy
+        # before the in-place partitions scramble the lane order.
+        pts_lanes = ref_lanes.copy()
+    else:
+        pts_lanes = np.matmul(dirs, values[:, j0:j1].transpose(1, 2, 0))  # (J, d, n)
     med = np.median(ref_lanes, axis=2, overwrite_input=True)  # (J, d)
     dev = np.abs(ref_lanes - med[:, :, None])
     mad = MAD_SCALE * np.median(dev, axis=2, overwrite_input=True)
     degenerate = mad < 1e-12
     if degenerate.any():
-        spread = np.std(proj_ref, axis=1)  # (J, d)
+        spread = ref_lanes.std(axis=2)  # (J, d) — order-invariant up to roundoff
         mad = np.where(degenerate, np.where(spread > 1e-12, spread, 1.0), mad)
-    if values is ref_values:
-        proj_pts = proj_ref  # self-scoring: queries are the reference
-    else:
-        proj_pts = _project_block(values, directions, j0, j1)  # (J, n, d)
-    out = np.abs(proj_pts - med[:, None, :]) / mad[:, None, :]
-    return out.max(axis=2).T  # (n, J)
+    out = np.abs(pts_lanes - med[:, :, None])
+    out /= mad[:, :, None]
+    return out.max(axis=1).T  # (n, J)
 
 
 def batched_stahel_donoho(
@@ -427,6 +472,7 @@ def batched_stahel_donoho(
     random_state=None,
     block_bytes: int | None = None,
     context=None,
+    dtype=None,
 ) -> np.ndarray:
     """SDO of every sample at every grid point → ``(n_samples, n_points)``.
 
@@ -436,17 +482,21 @@ def batched_stahel_donoho(
     matches ``naive=True`` to floating-point roundoff.
     """
     block_bytes = resolve_block_bytes(block_bytes)
+    compute_dtype = resolve_dtype(dtype)
+    values, ref_values = _as_dtype_pair(values, ref_values, compute_dtype)
     n, m, p = values.shape
     if p == 1:
         return _sdo_1d_columns(values[:, :, 0], ref_values[:, :, 0])
-    directions = _direction_stack(random_state, n_directions, p, m)
-    n_dir = directions.shape[1]
-    bytes_per_col = (n + ref_values.shape[0]) * n_dir * 8 * 3.2
-    blocks = row_blocks(m, bytes_per_col, block_bytes)
-    worker = functools.partial(
-        _sdo_block, values=values, ref_values=ref_values, directions=directions
+    # Directions are drawn in float64 (generator consumption must match
+    # the naive loop exactly), then cast to the compute dtype.
+    directions = np.asarray(
+        _direction_stack(random_state, n_directions, p, m), dtype=compute_dtype
     )
-    return np.concatenate(_run_blocks(worker, blocks, context), axis=1)
+    n_dir = directions.shape[1]
+    bytes_per_col = (n + ref_values.shape[0]) * n_dir * compute_dtype.itemsize * 3.2
+    blocks = row_blocks(m, bytes_per_col, block_bytes)
+    arrays = {"values": values, "ref_values": ref_values, "directions": directions}
+    return np.concatenate(_run_blocks(_sdo_block, blocks, context, arrays), axis=1)
 
 
 # --------------------------------------------------------------------------- halfspace
@@ -499,21 +549,24 @@ def _halfspace_profile(
     random_state=None,
     block_bytes: int | None = None,
     context=None,
+    dtype=None,
 ) -> np.ndarray:
     block_bytes = resolve_block_bytes(block_bytes)
+    compute_dtype = resolve_dtype(dtype)
+    values, ref_values = _as_dtype_pair(values, ref_values, compute_dtype)
     n, m, p = values.shape
     if p == 1:
         pts = values[:, :, 0]
         ref = pts if values is ref_values else ref_values[:, :, 0]
         return _halfspace_exact_columns(pts, ref)
-    directions = _direction_stack(random_state, n_directions, p, m)
-    n_dir = directions.shape[1]
-    bytes_per_col = (n + ref_values.shape[0]) * n_dir * 8 * 5.0
-    blocks = row_blocks(m, bytes_per_col, block_bytes)
-    worker = functools.partial(
-        _halfspace_block, values=values, ref_values=ref_values, directions=directions
+    directions = np.asarray(
+        _direction_stack(random_state, n_directions, p, m), dtype=compute_dtype
     )
-    return np.concatenate(_run_blocks(worker, blocks, context), axis=1)
+    n_dir = directions.shape[1]
+    bytes_per_col = (n + ref_values.shape[0]) * n_dir * compute_dtype.itemsize * 5.0
+    blocks = row_blocks(m, bytes_per_col, block_bytes)
+    arrays = {"values": values, "ref_values": ref_values, "directions": directions}
+    return np.concatenate(_run_blocks(_halfspace_block, blocks, context, arrays), axis=1)
 
 
 def halfspace_depth_cloud(
@@ -577,13 +630,16 @@ def _spatial_profile(
     ref_values: np.ndarray,
     block_bytes: int | None = None,
     context=None,
+    dtype=None,
 ) -> np.ndarray:
     block_bytes = resolve_block_bytes(block_bytes)
+    compute_dtype = resolve_dtype(dtype)
+    values, ref_values = _as_dtype_pair(values, ref_values, compute_dtype)
     n, m, p = values.shape
-    bytes_per_col = n * ref_values.shape[0] * (p + 2) * 8 * 1.6
+    bytes_per_col = n * ref_values.shape[0] * (p + 2) * compute_dtype.itemsize * 1.6
     blocks = row_blocks(m, bytes_per_col, block_bytes)
-    worker = functools.partial(_spatial_block, values=values, ref_values=ref_values)
-    return np.concatenate(_run_blocks(worker, blocks, context), axis=1)
+    arrays = {"values": values, "ref_values": ref_values}
+    return np.concatenate(_run_blocks(_spatial_block, blocks, context, arrays), axis=1)
 
 
 def spatial_depth_cloud(
@@ -672,10 +728,9 @@ def _simplicial_profile(
     width = getattr(context, "n_jobs", 1) if context is not None else 1
     per = max(m // max(width, 1), 1)
     blocks = [(j, min(j + per, m)) for j in range(0, m, per)]
-    worker = functools.partial(
-        _simplicial_block, values=values, ref_values=ref_values, block_bytes=block_bytes
-    )
-    return np.concatenate(_run_blocks(worker, blocks, context), axis=1)
+    worker = functools.partial(_simplicial_block, block_bytes=block_bytes)
+    arrays = {"values": values, "ref_values": ref_values}
+    return np.concatenate(_run_blocks(worker, blocks, context, arrays), axis=1)
 
 
 # --------------------------------------------------------------------------- mahalanobis
@@ -705,26 +760,47 @@ def pointwise_profile(
     notion: str,
     block_bytes: int | None = None,
     context=None,
+    dtype=None,
     **depth_kwargs,
 ) -> np.ndarray:
     """Vectorized ``(n_samples, n_points)`` depth profile dispatch.
 
     ``values``/``ref_values`` are ``(n, m, p)`` cubes sharing a grid.
+    ``dtype`` selects the kernel compute precision (float64 default;
+    float32 is the fast path — the heavy slab temporaries halve their
+    memory traffic while counts and aggregations stay exact).
     """
+    compute_dtype = resolve_dtype(dtype)
+    values, ref_values = _as_dtype_pair(values, ref_values, compute_dtype)
     if notion == "projection":
         sdo = batched_stahel_donoho(
-            values, ref_values, block_bytes=block_bytes, context=context, **depth_kwargs
+            values,
+            ref_values,
+            block_bytes=block_bytes,
+            context=context,
+            dtype=dtype,
+            **depth_kwargs,
         )
         return 1.0 / (1.0 + sdo)
     if notion == "halfspace":
         return _halfspace_profile(
-            values, ref_values, block_bytes=block_bytes, context=context, **depth_kwargs
+            values,
+            ref_values,
+            block_bytes=block_bytes,
+            context=context,
+            dtype=dtype,
+            **depth_kwargs,
         )
     if notion == "mahalanobis":
         return _mahalanobis_profile(values, ref_values, **depth_kwargs)
     if notion == "spatial":
         return _spatial_profile(
-            values, ref_values, block_bytes=block_bytes, context=context, **depth_kwargs
+            values,
+            ref_values,
+            block_bytes=block_bytes,
+            context=context,
+            dtype=dtype,
+            **depth_kwargs,
         )
     if notion == "simplicial":
         if values.shape[2] != 2:
@@ -737,40 +813,63 @@ def pointwise_profile(
 
 # --------------------------------------------------------------------------- Weiszfeld
 def batched_spatial_median(
-    clouds: np.ndarray, max_iter: int = 128, tol: float = 1e-9
-) -> np.ndarray:
+    clouds: np.ndarray,
+    max_iter: int = 128,
+    tol: float = 1e-9,
+    return_iterations: bool = False,
+):
     """Weiszfeld geometric medians of all grid-point clouds at once.
 
-    ``clouds`` is ``(n_ref, m, p)``; returns ``(m, p)``.  All columns
-    iterate simultaneously; a column freezes as soon as its update step
-    drops below the scale-aware tolerance (the early-exit convergence
-    criterion shared with the naive loop), so the iteration count is
-    driven by the slowest column instead of a fixed ``max_iter``.
+    ``clouds`` is ``(n_ref, m, p)``; returns ``(m, p)`` (or, with
+    ``return_iterations=True``, a ``(median, iterations)`` pair where
+    ``iterations[j]`` counts the update steps column ``j`` performed).
+    All columns iterate simultaneously; a column freezes as soon as its
+    update step drops below the scale-aware tolerance and is sliced out
+    of the working set, so late iterations touch only the stragglers —
+    and while nothing has converged yet the full arrays are used
+    directly, with no per-iteration gather copy.
+
+    Computes in the dtype of ``clouds``; for float32 the convergence
+    tolerance is floored at a few ULPs so the loop cannot spin on
+    roundoff noise, and the weight-sum guard scales with the dtype's
+    smallest normal instead of a hard-coded float64 constant.
     """
     n_ref, m, p = clouds.shape
     median = clouds.mean(axis=0)  # (m, p)
-    active = np.ones(m, dtype=bool)
+    eff_tol = max(float(tol), 4.0 * float(np.finfo(median.dtype).eps))
+    tiny = float(np.finfo(median.dtype).tiny)
+    iterations = np.zeros(m, dtype=np.int64)
+    # Column-major working copy, made ONCE: the reference axis lands on
+    # a contiguous reduction axis (pairwise summation — the same order
+    # the per-column naive loop uses, so results stay bit-identical to
+    # it), and slicing converged columns out is a cheap first-axis
+    # gather instead of a full advanced-index copy per iteration.
+    clouds_t = np.ascontiguousarray(clouds.transpose(1, 0, 2))  # (m, r, p)
+    active_idx = np.arange(m)
     for _ in range(max_iter):
-        if not active.any():
+        if active_idx.size == 0:
             break
-        sub = clouds[:, active, :]           # (r, a, p)
-        current = median[active]             # (a, p)
-        diffs = sub - current[None]
-        norms = np.sqrt(np.sum(diffs * diffs, axis=2))  # (r, a)
+        all_active = active_idx.size == m
+        sub = clouds_t if all_active else clouds_t[active_idx]  # (a, r, p)
+        current = median if all_active else median[active_idx]  # (a, p)
+        diffs = sub - current[:, None, :]
+        norms = np.sqrt(np.sum(diffs * diffs, axis=2))  # (a, r)
         keep = norms > 1e-12
-        any_keep = keep.any(axis=0)
+        any_keep = keep.any(axis=1)
         weights = np.where(keep, 1.0 / np.where(keep, norms, 1.0), 0.0)
-        wsum = weights.sum(axis=0)
-        new = np.einsum("ra,rap->ap", weights, sub) / np.maximum(wsum, 1e-300)[:, None]
+        wsum = weights.sum(axis=1)
+        new = np.einsum("ar,arp->ap", weights, sub) / np.maximum(wsum, tiny)[:, None]
         # Columns whose cloud collapsed onto the median keep it (the
         # naive loop returns the current median in that case).
         new = np.where(any_keep[:, None], new, current)
         step = np.linalg.norm(new - current, axis=1)
         scale = 1.0 + np.linalg.norm(current, axis=1)
-        converged = (step < tol * scale) | ~any_keep
-        idx = np.flatnonzero(active)
-        median[idx] = new
-        active[idx[converged]] = False
+        converged = (step < eff_tol * scale) | ~any_keep
+        median[active_idx] = new
+        iterations[active_idx] += 1
+        active_idx = active_idx[~converged]
+    if return_iterations:
+        return median, iterations
     return median
 
 
@@ -783,6 +882,7 @@ def batched_outlyingness_vectors(
     context=None,
     max_iter: int = 128,
     tol: float = 1e-9,
+    dtype=None,
 ) -> np.ndarray:
     """Directional outlyingness vectors ``O(X_i(t))`` for all (i, t).
 
@@ -790,6 +890,8 @@ def batched_outlyingness_vectors(
     Weiszfeld run for the cross-sectional medians, and a single
     broadcast for the unit directions — no per-grid-point Python loop.
     """
+    compute_dtype = resolve_dtype(dtype)
+    values, ref_values = _as_dtype_pair(values, ref_values, compute_dtype)
     n, m, p = values.shape
     sdo = batched_stahel_donoho(
         values,
@@ -798,6 +900,7 @@ def batched_outlyingness_vectors(
         random_state=random_state,
         block_bytes=block_bytes,
         context=context,
+        dtype=dtype,
     )
     if p == 1:
         centers = np.median(ref_values[:, :, 0], axis=0)[:, None]  # (m, 1)

@@ -117,6 +117,7 @@ def directional_outlyingness(
     naive: bool = False,
     block_bytes: int | None = None,
     context=None,
+    dtype=None,
 ) -> DirectionalOutlyingness:
     """Compute the Dai–Genton (MO, VO, FO) decomposition.
 
@@ -129,12 +130,16 @@ def directional_outlyingness(
     n_directions, random_state:
         Controls for the projection-depth approximation (exact when p=1).
     naive:
-        ``True`` runs the original per-grid-point loop (the equivalence
-        oracle); the default batches the Stahel–Donoho sweep and the
-        Weiszfeld medians over all grid points at once.
+        ``True`` runs the original loop — per grid point AND per
+        direction (the equivalence oracle, always float64); the default
+        batches the Stahel–Donoho sweep and the Weiszfeld medians over
+        all grid points at once.
     block_bytes, context:
         Kernel scratch budget and optional worker-pool fan-out (see
         :mod:`repro.depth._kernels`).
+    dtype:
+        Kernel compute precision for the batched path (float64 default,
+        float32 fast path).
     """
     if isinstance(data, FDataGrid):
         data = data.to_multivariate()
@@ -164,6 +169,7 @@ def directional_outlyingness(
             random_state=random_state,
             block_bytes=block_bytes,
             context=context,
+            dtype=dtype,
         )
     else:
         out_vectors = np.empty((n, m, p))
@@ -171,7 +177,8 @@ def directional_outlyingness(
             cloud = reference.values[:, j, :]
             pts = data.values[:, j, :]
             sdo = stahel_donoho_outlyingness(
-                pts, cloud, n_directions=n_directions, random_state=random_state
+                pts, cloud, n_directions=n_directions, random_state=random_state,
+                naive=True,
             )
             center = _spatial_median(cloud) if p > 1 else np.array([np.median(cloud[:, 0])])
             diffs = pts - center
@@ -191,6 +198,7 @@ def dirout_scores(
     naive: bool = False,
     block_bytes: int | None = None,
     context=None,
+    dtype=None,
 ) -> np.ndarray:
     """Dir.out outlyingness scores (higher = more anomalous).
 
@@ -201,7 +209,7 @@ def dirout_scores(
     """
     decomposition = directional_outlyingness(
         data, reference, n_directions=n_directions, random_state=random_state,
-        naive=naive, block_bytes=block_bytes, context=context,
+        naive=naive, block_bytes=block_bytes, context=context, dtype=dtype,
     )
     if method == "total":
         return decomposition.total

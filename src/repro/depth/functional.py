@@ -46,7 +46,7 @@ _POINTWISE: dict[str, Callable] = {
 
 #: Notions whose naive implementation itself takes a ``naive`` flag —
 #: the oracle loop pins those to their original per-point code too.
-_LOOPED_NOTIONS = ("halfspace", "spatial", "simplicial")
+_LOOPED_NOTIONS = ("projection", "halfspace", "spatial", "simplicial")
 
 
 def pointwise_depth_profile(
@@ -56,6 +56,7 @@ def pointwise_depth_profile(
     naive: bool = False,
     block_bytes: int | None = None,
     context=None,
+    dtype=None,
     **depth_kwargs,
 ) -> np.ndarray:
     """Depth of every sample at every grid point → ``(n_samples, n_points)``.
@@ -66,8 +67,10 @@ def pointwise_depth_profile(
     whole ``(n_samples × n_points)`` computation to the blocked kernels
     of :mod:`repro.depth._kernels` (scratch bounded by ``block_bytes``;
     ``context`` optionally fans blocks out across its worker pool with
-    bit-identical results).  ``naive=True`` runs the original
-    grid-point-by-grid-point loop — the equivalence oracle.
+    bit-identical results; ``dtype`` selects the kernel compute
+    precision — float64 default, float32 fast path).  ``naive=True``
+    runs the original grid-point-by-grid-point loop — the equivalence
+    oracle, always in float64.
     """
     if not isinstance(data, MFDataGrid):
         raise ValidationError(f"data must be MFDataGrid, got {type(data).__name__}")
@@ -93,6 +96,7 @@ def pointwise_depth_profile(
             notion,
             block_bytes=block_bytes,
             context=context,
+            dtype=dtype,
             **depth_kwargs,
         )
     depth_fn = _POINTWISE[notion]

@@ -114,6 +114,7 @@ def funta_depth(
     naive: bool = False,
     block_bytes: int | None = None,
     context=None,
+    dtype=None,
 ) -> np.ndarray:
     """FUNTA pseudo-depth per sample (higher = more central).
 
@@ -137,6 +138,9 @@ def funta_depth(
     context:
         Optional :class:`~repro.engine.ExecutionContext` whose worker
         pool fans out sample blocks (bit-identical to serial).
+    dtype:
+        Kernel compute precision for the blocked path (float64 default,
+        float32 fast path); the naive oracle is always float64.
     """
     trim = check_in_range(trim, 0.0, 0.5, "trim", inclusive=(True, False))
 
@@ -145,7 +149,7 @@ def funta_depth(
             return _funta_univariate(values, ref_values, grid, trim, same)
         return _kernels.funta_univariate(
             values, ref_values, grid, trim, same,
-            block_bytes=block_bytes, context=context,
+            block_bytes=block_bytes, context=context, dtype=dtype,
         )
 
     if isinstance(data, FDataGrid):
@@ -174,9 +178,10 @@ def funta_outlyingness(
     naive: bool = False,
     block_bytes: int | None = None,
     context=None,
+    dtype=None,
 ) -> np.ndarray:
     """Outlyingness score ``1 - FUNTA`` (higher = more anomalous)."""
     return 1.0 - funta_depth(
         data, reference=reference, trim=trim,
-        naive=naive, block_bytes=block_bytes, context=context,
+        naive=naive, block_bytes=block_bytes, context=context, dtype=dtype,
     )

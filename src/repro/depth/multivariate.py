@@ -72,13 +72,17 @@ def _directional_outlyingness_1d(proj_points: np.ndarray, proj_ref: np.ndarray) 
 
 
 def stahel_donoho_outlyingness(
-    points, reference, n_directions: int = 200, random_state=None
+    points, reference, n_directions: int = 200, random_state=None,
+    naive: bool = False,
 ) -> np.ndarray:
     """Stahel–Donoho outlyingness ``sup_u |u'x - med| / MAD``.
 
     Exact for univariate clouds; for p > 1 the supremum is taken over
     ``n_directions`` random unit vectors (plus the coordinate axes,
-    which stabilizes low-dimensional behaviour).
+    which stabilizes low-dimensional behaviour).  The default path
+    evaluates every direction's median/MAD in one batched sweep;
+    ``naive=True`` keeps the original per-direction loop (the
+    equivalence oracle, same discipline as :func:`halfspace_depth`).
     """
     points, reference = _check_cloud(points, reference)
     p = reference.shape[1]
@@ -88,6 +92,13 @@ def stahel_donoho_outlyingness(
     directions = _kernels.draw_directions(random_state, n_directions, p)
     proj_ref = reference @ directions.T        # (n_ref, n_dir)
     proj_pts = points @ directions.T           # (n_pts, n_dir)
+    if naive:
+        out = np.zeros(points.shape[0])
+        for d in range(directions.shape[0]):
+            out = np.maximum(
+                out, _directional_outlyingness_1d(proj_pts[:, d], proj_ref[:, d])
+            )
+        return out
     med = np.median(proj_ref, axis=0)
     mad = _MAD_SCALE * np.median(np.abs(proj_ref - med), axis=0)
     degenerate = mad < 1e-12
@@ -98,9 +109,14 @@ def stahel_donoho_outlyingness(
     return out.max(axis=1)
 
 
-def projection_depth(points, reference, n_directions: int = 200, random_state=None) -> np.ndarray:
+def projection_depth(
+    points, reference, n_directions: int = 200, random_state=None,
+    naive: bool = False,
+) -> np.ndarray:
     """Projection depth ``1 / (1 + SDO)`` (Zuo 2003)."""
-    sdo = stahel_donoho_outlyingness(points, reference, n_directions, random_state)
+    sdo = stahel_donoho_outlyingness(
+        points, reference, n_directions, random_state, naive=naive
+    )
     return 1.0 / (1.0 + sdo)
 
 

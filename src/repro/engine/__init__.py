@@ -17,5 +17,13 @@ bit-identical to the serial order.
 
 from repro.engine.cache import CacheStats, FactorizationCache
 from repro.engine.context import ExecutionContext
+from repro.engine.shared import SharedArrayPool, SharedArrayRef, live_segments
 
-__all__ = ["CacheStats", "FactorizationCache", "ExecutionContext"]
+__all__ = [
+    "CacheStats",
+    "FactorizationCache",
+    "ExecutionContext",
+    "SharedArrayPool",
+    "SharedArrayRef",
+    "live_segments",
+]

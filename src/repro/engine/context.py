@@ -26,10 +26,28 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.engine.cache import FactorizationCache
+from repro.engine.shared import SharedArrayPool, attach_arrays, detach_arrays
 from repro.exceptions import ValidationError
 from repro.utils.random import spawn_random_states
 
 __all__ = ["ExecutionContext"]
+
+
+def _run_shared_group(task):
+    """Worker entry for :meth:`ExecutionContext.run_blocks`.
+
+    ``task`` is ``(worker, refs, group)``: attach the shared arrays
+    (zero-copy), run the block worker over the group's blocks in order,
+    detach.  Module-level so it pickles; the per-task payload is the
+    (small) worker partial, the O(1) refs and the block bounds — never
+    the arrays themselves.
+    """
+    worker, refs, group = task
+    arrays, handles = attach_arrays(refs)
+    try:
+        return [worker(block, **arrays) for block in group]
+    finally:
+        detach_arrays(handles)
 
 
 def _resolve_n_jobs(n_jobs: int) -> int:
@@ -53,15 +71,30 @@ class ExecutionContext:
     n_jobs:
         Default parallel width for :meth:`map`; ``1`` (serial) by
         default, ``-1`` for one worker per CPU core.
+    spill_bytes:
+        Shared arrays larger than this many bytes are spilled to an
+        ``np.memmap`` file instead of ``/dev/shm`` during
+        :meth:`run_blocks` (``None`` keeps everything in shared
+        memory); see :class:`~repro.engine.shared.SharedArrayPool`.
+    spill_dir:
+        Directory for spill files (default: the system temp dir).
     """
 
-    def __init__(self, cache: FactorizationCache | None = None, n_jobs: int = 1):
+    def __init__(
+        self,
+        cache: FactorizationCache | None = None,
+        n_jobs: int = 1,
+        spill_bytes: int | None = None,
+        spill_dir=None,
+    ):
         if cache is not None and not isinstance(cache, FactorizationCache):
             raise ValidationError(
                 f"cache must be a FactorizationCache, got {type(cache).__name__}"
             )
         self.cache = cache if cache is not None else FactorizationCache()
         self.n_jobs = _resolve_n_jobs(n_jobs)
+        self.spill_bytes = spill_bytes
+        self.spill_dir = spill_dir
 
     # ------------------------------------------------------------------ seeding
     def spawn_generators(self, random_state, n: int) -> list[np.random.Generator]:
@@ -114,6 +147,43 @@ class ExecutionContext:
     ) -> list:
         """Eager :meth:`imap`: apply ``fn`` to every item, preserving order."""
         return list(self.imap(fn, items, n_jobs=n_jobs, initializer=initializer, initargs=initargs))
+
+    def run_blocks(
+        self,
+        worker: Callable,
+        blocks: Sequence,
+        arrays: dict | None = None,
+        n_jobs: int | None = None,
+    ) -> list:
+        """Apply ``worker(block, **arrays)`` to every block, in order.
+
+        The shared-memory block executor behind the depth kernels: the
+        (large, read-only) ``arrays`` are placed into a
+        :class:`~repro.engine.shared.SharedArrayPool` exactly once,
+        workers attach zero-copy, and each worker processes a contiguous
+        group of blocks (:meth:`distribute`), so the per-task pickle
+        payload is O(1) in the curve count.  Results come back in input
+        order — the pooled result is bit-identical to the serial one.
+        The pool's segments are unlinked on success *and* failure.
+
+        Serial fallbacks (width 1, or fewer than two blocks) call the
+        worker in-process with the original arrays, no copies at all.
+        """
+        blocks = list(blocks)
+        arrays = dict(arrays or {})
+        width = self.n_jobs if n_jobs is None else _resolve_n_jobs(n_jobs)
+        if width <= 1 or len(blocks) <= 1:
+            return [worker(block, **arrays) for block in blocks]
+        groups = self.distribute(blocks, n_jobs=width)
+        if len(groups) <= 1:
+            return [worker(block, **arrays) for block in blocks]
+        with SharedArrayPool(spill_bytes=self.spill_bytes,
+                             spill_dir=self.spill_dir) as pool:
+            refs = pool.share(arrays)
+            tasks = [(worker, refs, group) for group in groups]
+            with ProcessPoolExecutor(max_workers=len(groups)) as executor:
+                parts = list(executor.map(_run_shared_group, tasks))
+        return [result for part in parts for result in part]
 
     def distribute(self, items: Sequence, n_jobs: int | None = None) -> list[list]:
         """Split ``items`` into at most ``n_jobs`` contiguous, ordered groups.

@@ -1,0 +1,257 @@
+"""Zero-copy shared-array transport for the multi-process block executor.
+
+The blocked depth kernels split their work into independent row/column
+blocks over a handful of large read-only arrays (the curve cubes, the
+reference cubes, precomputed tangent angles, direction stacks).  Naive
+process fan-out pickles those arrays into every worker — for a 100k-curve
+workload that is gigabytes of redundant copying that easily eats the
+parallel speedup.  A :class:`SharedArrayPool` instead places each array
+in shared storage exactly once:
+
+* **shared memory** (:mod:`multiprocessing.shared_memory`) by default —
+  workers attach to the segment and wrap it in an ndarray without any
+  copy;
+* an **np.memmap spill** for arrays above ``spill_bytes`` — the same
+  zero-copy attach discipline through the page cache, for inputs too
+  large for ``/dev/shm`` (which is RAM-backed and typically capped at
+  half of physical memory).
+
+What crosses the process boundary is a :class:`SharedArrayRef` — a tiny
+picklable descriptor (segment name / file path, shape, dtype) — so the
+per-task payload is O(1) regardless of the curve count.
+
+Identity is preserved: sharing the *same* ndarray object under two
+keys yields refs to one segment, and :func:`attach_arrays` returns the
+same ndarray object for both keys — the kernels' ``values is
+ref_values`` self-scoring fast paths keep working inside workers.
+
+Every created segment is tracked in a module-level registry until it is
+unlinked; :func:`live_segments` exposes the registry so tests (and the
+CI leak gate) can assert that both success and failure paths release
+everything.  :class:`SharedArrayPool` is a context manager whose
+``__exit__`` always unlinks.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "SharedArrayPool",
+    "SharedArrayRef",
+    "attach_arrays",
+    "detach_arrays",
+    "live_segments",
+]
+
+#: Names of shared segments / spill files created by this process that
+#: have not been unlinked yet.  Tests assert this drains to empty.
+_LIVE: set[str] = set()
+
+
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """Picklable descriptor of one shared array.
+
+    ``kind`` is ``"shm"`` (a :class:`multiprocessing.shared_memory`
+    segment named ``location``) or ``"memmap"`` (a file at
+    ``location``).  ``shape``/``dtype`` reconstruct the ndarray view.
+    """
+
+    kind: str
+    location: str
+    shape: tuple
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without re-registering it with the
+    resource tracker (``track=False`` where available — Python >= 3.13;
+    earlier fork-based workers share the parent's tracker, where the
+    duplicate registration is a set no-op)."""
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13 signature
+        return shared_memory.SharedMemory(name=name)
+
+
+def attach_arrays(refs: dict) -> tuple[dict, list]:
+    """Materialize ndarray views for a dict of :class:`SharedArrayRef`.
+
+    Returns ``(arrays, handles)``: the arrays are zero-copy views into
+    the shared storage (read-only — block workers must not mutate their
+    inputs), and ``handles`` keeps the backing objects alive; pass it to
+    :func:`detach_arrays` when the work is done.  Refs pointing at the
+    same segment yield the *same* ndarray object, preserving the
+    identity-based fast paths of the kernels.
+    """
+    arrays: dict = {}
+    handles: list = []
+    by_location: dict[str, np.ndarray] = {}
+    for key, ref in refs.items():
+        if ref.location in by_location:
+            arrays[key] = by_location[ref.location]
+            continue
+        if ref.kind == "shm":
+            shm = _attach_shm(ref.location)
+            handles.append(shm)
+            arr = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf)
+        elif ref.kind == "memmap":
+            arr = np.memmap(ref.location, dtype=np.dtype(ref.dtype), mode="r",
+                            shape=ref.shape)
+            handles.append(arr)
+        else:
+            raise ValidationError(f"unknown shared-array kind {ref.kind!r}")
+        arr.flags.writeable = False
+        arrays[key] = by_location[ref.location] = arr
+    return arrays, handles
+
+
+def detach_arrays(handles: list) -> None:
+    """Release the attach handles (close segments / drop memmap refs)."""
+    for handle in handles:
+        close = getattr(handle, "close", None)
+        if close is not None:
+            close()
+
+
+def live_segments() -> frozenset[str]:
+    """Names/paths of segments created by this process and not yet
+    unlinked — the CI leak gate asserts this is empty after pooled runs,
+    on both success and failure paths."""
+    return frozenset(_LIVE)
+
+
+class SharedArrayPool:
+    """Owner of the shared segments backing one block fan-out.
+
+    Parameters
+    ----------
+    spill_bytes:
+        Arrays strictly larger than this many bytes go to an
+        ``np.memmap`` spill file instead of shared memory (``None`` —
+        the default — keeps everything in shared memory).  The executor
+        wires the block governor's budget through here so workloads that
+        exceed RAM-backed ``/dev/shm`` stream from disk instead of
+        failing.
+    spill_dir:
+        Directory for spill files (default: the system temp dir).
+    """
+
+    def __init__(self, spill_bytes: int | None = None, spill_dir=None):
+        if spill_bytes is not None and (
+            not isinstance(spill_bytes, (int, np.integer))
+            or isinstance(spill_bytes, bool)
+            or spill_bytes <= 0
+        ):
+            raise ValidationError(
+                f"spill_bytes must be a positive int or None, got {spill_bytes!r}"
+            )
+        self.spill_bytes = int(spill_bytes) if spill_bytes is not None else None
+        self.spill_dir = spill_dir
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._spill_paths: list[str] = []
+        self._refs_by_id: dict[int, SharedArrayRef] = {}
+        self._unlinked = False
+
+    # ------------------------------------------------------------------ share
+    def share(self, arrays: dict) -> dict:
+        """Copy each array into shared storage once; return name → ref.
+
+        Identical ndarray *objects* (``a is b``) are deduplicated to one
+        segment.  Arrays must be materialized ndarrays; object dtypes
+        are rejected (they cannot live in flat shared buffers).
+        """
+        if self._unlinked:
+            raise ValidationError("SharedArrayPool has been unlinked; create a new one")
+        refs: dict = {}
+        for key, array in arrays.items():
+            array = np.asarray(array)
+            if array.dtype.hasobject:
+                raise ValidationError(
+                    f"array {key!r} has object dtype and cannot be shared"
+                )
+            cached = self._refs_by_id.get(id(array))
+            if cached is not None:
+                refs[key] = cached
+                continue
+            if self.spill_bytes is not None and array.nbytes > self.spill_bytes:
+                ref = self._spill(array)
+            else:
+                ref = self._place_shm(array)
+            self._refs_by_id[id(array)] = ref
+            refs[key] = ref
+        return refs
+
+    def _place_shm(self, array: np.ndarray) -> SharedArrayRef:
+        # size=0 segments are invalid; keep a 1-byte floor for empties.
+        segment = shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
+        _LIVE.add(segment.name)
+        self._segments.append(segment)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        return SharedArrayRef("shm", segment.name, tuple(array.shape), array.dtype.str)
+
+    def _spill(self, array: np.ndarray) -> SharedArrayRef:
+        fd, path = tempfile.mkstemp(prefix="repro-spill-", suffix=".mm",
+                                    dir=self.spill_dir)
+        os.close(fd)
+        _LIVE.add(path)
+        self._spill_paths.append(path)
+        mm = np.memmap(path, dtype=array.dtype, mode="w+",
+                       shape=tuple(array.shape) if array.size else (1,))
+        if array.size:
+            mm[...] = array
+        mm.flush()
+        del mm
+        return SharedArrayRef("memmap", path, tuple(array.shape), array.dtype.str)
+
+    # ------------------------------------------------------------------ cleanup
+    def unlink(self) -> None:
+        """Release every segment and spill file (idempotent)."""
+        self._unlinked = True
+        self._refs_by_id.clear()
+        while self._segments:
+            segment = self._segments.pop()
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            _LIVE.discard(segment.name)
+        while self._spill_paths:
+            path = self._spill_paths.pop()
+            try:
+                os.unlink(path)
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            _LIVE.discard(path)
+
+    def __enter__(self) -> "SharedArrayPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.unlink()
+
+    def __del__(self):  # pragma: no cover - GC backstop
+        try:
+            self.unlink()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SharedArrayPool(segments={len(self._segments)}, "
+            f"spills={len(self._spill_paths)}, spill_bytes={self.spill_bytes})"
+        )

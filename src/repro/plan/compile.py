@@ -174,6 +174,8 @@ class MethodPlan(ScoringPlan):
         if self.spec.kind in ("funta", "dirout"):
             if self.workload.block_bytes is not None:
                 params.setdefault("block_bytes", self.workload.block_bytes)
+            if self.workload.dtype != "float64":
+                params.setdefault("dtype", self.workload.dtype)
             cls = (
                 core_methods.FuntaMethod
                 if self.spec.kind == "funta"

@@ -62,6 +62,7 @@ def run_chunked(
     data,
     chunk_size: int = 256,
     observe: Callable[[MFDataGrid, object], None] | None = None,
+    context=None,
 ) -> Iterator:
     """Apply ``step`` to every bounded-size chunk of ``data``, lazily.
 
@@ -70,7 +71,22 @@ def run_chunked(
     (if given) runs after each step with ``(chunk, result)`` — used by
     :class:`~repro.serving.ScoringService` to fold traffic counters in
     without duplicating the iteration logic.
+
+    ``context`` (an :class:`~repro.engine.ExecutionContext` with
+    ``n_jobs > 1``) fans independent chunks out across the context's
+    process pool via :meth:`~repro.engine.ExecutionContext.imap`,
+    yielding results in input order — only valid when ``step`` is
+    stateless across chunks (pure scoring; stateful streaming steps
+    must stay serial) and picklable.  Chunks are materialized eagerly
+    in that case to hand the pool its work list.
     """
+    if context is not None and getattr(context, "n_jobs", 1) > 1:
+        chunks = list(iter_curve_chunks(data, chunk_size=chunk_size))
+        for chunk, result in zip(chunks, context.imap(step, chunks)):
+            if observe is not None:
+                observe(chunk, result)
+            yield result
+        return
     for chunk in iter_curve_chunks(data, chunk_size=chunk_size):
         result = step(chunk)
         if observe is not None:

@@ -648,9 +648,10 @@ class WorkloadSpec:
     chunking); ``chunk_size``/``max_pending`` bound those paths;
     ``n_jobs`` sizes the :class:`~repro.engine.ExecutionContext` pool;
     ``block_bytes`` caps depth-kernel scratch; ``dtype`` pins the
-    numeric backend (``float64`` today — a ``float32`` backend is the
-    designed next extension and is rejected with an actionable error
-    until it lands).
+    numeric backend — ``float64`` (the reference) or ``float32`` (the
+    kernel fast path: half the slab memory traffic, scores within a
+    pinned ULP tolerance of the float64 oracle and rank-order preserved
+    on the paper's workloads; see ``tests/test_float32_path.py``).
     """
 
     mode: str = "batch"
@@ -678,12 +679,7 @@ class WorkloadSpec:
                 raise ConfigurationError(
                     f"workload block_bytes must be >= 1, got {self.block_bytes}"
                 )
-        if self.dtype != "float64":
-            raise ConfigurationError(
-                f"workload dtype {self.dtype!r} is not supported yet; "
-                "supported: ['float64'] (a float32 backend plugs into the "
-                "plan compiler as a one-file extension)"
-            )
+        _check_choice(self.dtype, ("float64", "float32"), "workload dtype")
         _check_type(self.max_pending, int, "workload max_pending")
         if self.max_pending < 1:
             raise ConfigurationError(

@@ -8,6 +8,7 @@ partition-select detectors, and the perf-trajectory machinery behind
 """
 
 import json
+import os
 
 import numpy as np
 import pytest
@@ -138,6 +139,31 @@ class TestBatchedWeiszfeld:
         cloud = rng.standard_normal((50, 2)) + 1e9  # huge magnitude
         median = _spatial_median(cloud, max_iter=200)
         assert np.linalg.norm(median - cloud.mean(axis=0)) < 1.0
+
+    def test_per_column_early_exit_iteration_counts(self):
+        # Regression pin for the per-column early exit: converged columns
+        # must drop out of the active set individually.  Before the fix,
+        # every column iterated until the slowest one converged, so all
+        # counts came out equal; these pinned counts (including the
+        # 1-iteration degenerate column) can only be produced by
+        # genuinely per-column termination.
+        rng = np.random.default_rng(0)
+        clouds = rng.standard_normal((9, 15, 2))
+        clouds[:, 3, :] = 0.25  # all points identical -> immediate freeze
+        median, iterations = _kernels.batched_spatial_median(
+            clouds, return_iterations=True
+        )
+        expected = [50, 52, 32, 1, 52, 56, 41, 49, 32, 43, 34, 56, 41, 25, 41]
+        np.testing.assert_array_equal(iterations, expected)
+        # Dropping out early must not change the answer: each column run
+        # alone (its own active set throughout) lands on the same median
+        # after the same number of iterations.
+        for j in (0, 3, 5, 13):
+            alone, alone_iters = _kernels.batched_spatial_median(
+                clouds[:, j : j + 1, :], return_iterations=True
+            )
+            assert alone_iters[0] == expected[j]
+            np.testing.assert_array_equal(alone[0], median[j])
 
 
 class TestMsPlotTypes:
@@ -289,9 +315,45 @@ class TestBenchDepthCli:
         trajectory = json.loads(out.read_text())
         assert len(trajectory) == 1
         record = trajectory[0]
-        assert record["schema_version"] == 1
+        assert record["schema_version"] == 2
+        assert record["bench"] == "depth_kernels"
+        assert record["workload"]["cpu_count"] == os.cpu_count()
         kernels = {r["kernel"] for r in record["results"]}
-        assert {"funta", "halfspace_p1", "halfspace_p2", "spatial_p2"} <= kernels
+        assert {"funta", "halfspace_p1", "halfspace_p2", "spatial_p2",
+                "projection_p2", "dirout_p2"} <= kernels
         for r in record["results"]:
             assert r["pool_s"] is None
+            assert r["parallel_speedup"] is None
             assert r["naive_s"] > 0 and r["vectorized_s"] > 0
+
+    def test_bench_depth_scale_mode(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "bench.json"
+        code = main([
+            "bench-depth", "--scale", "--n", "40", "--n-ref", "16", "--m", "8",
+            "--repeats", "1", "--n-jobs", "2", "--quick", "--output", str(out),
+        ])
+        assert code == 0
+        assert "scaled" in capsys.readouterr().out
+        record = json.loads(out.read_text())[0]
+        assert record["bench"] == "depth_kernels_scaled"
+        assert record["workload"]["n_ref"] == 16
+        for r in record["results"]:
+            assert r["naive_s"] is None and r["speedup"] is None
+            assert r["pool_s"] is not None
+            assert r["parallel_speedup"] is not None
+
+    def test_format_rows_falls_back_on_v1_records(self):
+        from repro.perf import format_bench_rows
+
+        v1 = {
+            "results": [
+                {"kernel": "funta", "p": 1, "gated": True,
+                 "naive_s": 0.5, "vectorized_s": 0.05,
+                 "pool_s": None, "speedup": 10.0},
+            ]
+        }
+        headers, rows = format_bench_rows(v1)
+        assert "pool ms" not in headers
+        assert rows[0][-1] == "10.0x"

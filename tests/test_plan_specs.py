@@ -176,9 +176,10 @@ class TestValidationErrors:
         with pytest.raises(ConfigurationError, match="drift_baseline"):
             StreamSpec(drift_baseline=4)
 
-    def test_workload_rejects_float32_with_actionable_message(self):
-        with pytest.raises(ConfigurationError, match="float64"):
-            WorkloadSpec(dtype="float32")
+    def test_workload_accepts_float32_rejects_unknown_dtype(self):
+        assert WorkloadSpec(dtype="float32").dtype == "float32"
+        with pytest.raises(ConfigurationError, match="dtype"):
+            WorkloadSpec(dtype="float16")
 
     def test_workload_rejects_unknown_mode(self):
         with pytest.raises(ConfigurationError, match="mode"):
