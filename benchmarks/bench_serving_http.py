@@ -1,0 +1,93 @@
+"""Serving-HTTP bench: the async front door under sustained and overload rates.
+
+Starts a :class:`~repro.serving.ScoringServer` fronting the fitted
+Fig. 3 pipeline (iforest over curvature features, loaded zero-copy from
+an uncompressed manifest) and drives it over localhost in two phases:
+
+* **sustained** — closed-loop keep-alive clients measure real
+  micro-batched ``POST /submit`` throughput and latency percentiles;
+  the gate asserts the front door sustains >= the floor in curves/s
+  (1k/s full, a softer floor in the quick CI configuration, where the
+  runner shares cores with the event loop and both phases are short).
+* **overload** — the scorer is throttled to a known flush capacity and
+  open-loop arrivals are scheduled at 5x that capacity against a small
+  high-water mark; the gate asserts the backpressure contract: excess
+  arrivals shed with 429 *before* queueing, outstanding work never
+  exceeds the high-water mark plus the concurrent-admission window,
+  and every accepted request resolves (no dropped tickets, no errors).
+
+The machine-readable record is appended to the perf trajectory
+``BENCH_serving_http.json`` at the repo root (same git-sha schema as
+``BENCH_depth_kernels.json``).  Set ``REPRO_BENCH_QUICK=1`` for the CI
+smoke configuration.
+"""
+
+import os
+
+from repro.perf import (
+    append_bench_record,
+    format_serving_http_rows,
+    run_serving_http_bench,
+)
+
+from benchmarks.conftest import BENCH_SEED, print_table
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
+
+BATCH_CURVES = 32
+SUSTAINED_REQUESTS = 60 if QUICK else 300
+OVERLOAD_REQUESTS = 120 if QUICK else 400
+CONCURRENCY = 8 if QUICK else 12
+SUSTAINED_FLOOR = 400.0 if QUICK else 1000.0
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def test_serving_http_front_door():
+    record = run_serving_http_bench(
+        batch_curves=BATCH_CURVES,
+        sustained_requests=SUSTAINED_REQUESTS,
+        overload_requests=OVERLOAD_REQUESTS,
+        concurrency=CONCURRENCY,
+        seed=BENCH_SEED,
+        quick=QUICK,
+    )
+    append_bench_record(os.path.join(_REPO_ROOT, "BENCH_serving_http.json"), record)
+
+    headers, rows = format_serving_http_rows(record)
+    print_table(
+        f"Serving HTTP — batch={BATCH_CURVES}, sustained={SUSTAINED_REQUESTS} req "
+        f"x {CONCURRENCY} clients, overload=5x capacity",
+        headers,
+        rows,
+    )
+
+    # Record schema: downstream tooling reads these keys.
+    for key in ("schema_version", "bench", "git_sha", "quick", "workload", "results"):
+        assert key in record, f"missing record key {key!r}"
+    assert record["bench"] == "serving_http"
+    sustained, overload = record["results"]
+    for key in ("curves_per_s", "p50_ms", "p95_ms", "p99_ms"):
+        assert key in sustained, f"missing sustained key {key!r}"
+    for key in ("shed", "max_outstanding", "high_water", "arrival_curves_per_s"):
+        assert key in overload, f"missing overload key {key!r}"
+
+    # Sustained gate: every request scored, finite, at >= the floor.
+    assert sustained["errors"] == [], f"sustained-phase errors: {sustained['errors']}"
+    assert sustained["accepted"] == SUSTAINED_REQUESTS
+    assert sustained["curves_per_s"] >= SUSTAINED_FLOOR, (
+        f"front door sustained {sustained['curves_per_s']:,.0f} curves/s, "
+        f"below the {SUSTAINED_FLOOR:,.0f} floor"
+    )
+
+    # Overload gate: the 5x arrival rate sheds with 429s instead of
+    # growing the queue, and every accepted ticket resolves cleanly.
+    assert overload["errors"] == [], f"overload-phase errors: {overload['errors']}"
+    assert overload["shed"] > 0, "no 429s under 5x-capacity arrivals"
+    assert overload["accepted"] + overload["shed"] == overload["requests"]
+    admission_window = CONCURRENCY * BATCH_CURVES
+    assert overload["max_outstanding"] <= overload["high_water"] + admission_window, (
+        f"queue grew to {overload['max_outstanding']} curves, past the "
+        f"{overload['high_water']}-curve high-water mark"
+    )
+    assert overload["failed_requests"] == 0

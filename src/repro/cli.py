@@ -8,6 +8,7 @@ Usage::
     python -m repro taxonomy
     python -m repro all --reps 15
     python -m repro serve-score --pipeline model_dir --data batch.npz
+    python -m repro serve --pipeline ecg=model_dir --port 8000 --workers 4
     python -m repro stream-score --data stream.npz --kind funta --window 128
     python -m repro plan validate examples/specs/*.json model_dir
     python -m repro bench-depth --n 200 --m 100 --n-jobs 2
@@ -221,6 +222,52 @@ def run_bench_depth(args) -> None:
     if args.output:
         trajectory = append_bench_record(args.output, record)
         print(f"\nperf trajectory: {args.output} ({len(trajectory)} records)")
+
+
+def _parse_pipeline_args(entries) -> dict:
+    """Parse ``name=dir`` pipeline bindings for ``repro serve``."""
+    from repro.exceptions import ValidationError
+
+    pipelines = {}
+    for entry in entries:
+        name, sep, path = entry.partition("=")
+        if not sep or not name or not path:
+            raise ValidationError(
+                f"--pipeline expects NAME=DIR (a deployment name bound to a "
+                f"saved-pipeline directory), got {entry!r}"
+            )
+        if name in pipelines:
+            raise ValidationError(f"duplicate pipeline name {name!r} in --pipeline")
+        pipelines[name] = path
+    return pipelines
+
+
+def run_serve(args) -> None:
+    """serve: the asyncio HTTP front door over one or more saved pipelines.
+
+    Each worker process loads every manifest itself (``mmap`` →
+    zero-copy page-cache arrays) and shares no mutable state; requests
+    route by pipeline name or spec hash into the micro-batching queue,
+    and the queue is bounded by ``--high-water`` (beyond it, POST
+    /submit sheds with 429 + Retry-After).
+    """
+    from repro.serving.server import load_service, serve
+
+    pipelines = _parse_pipeline_args(args.pipeline)
+    # Validate every manifest before binding the port (and before
+    # forking workers): a typo'd path should fail in one line, not N
+    # tracebacks later from inside a worker fleet.
+    load_service(pipelines, max_pending=args.max_pending, mmap=not args.no_mmap)
+    serve(
+        pipelines,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        high_water=args.high_water,
+        flush_interval=args.flush_interval,
+        mmap=not args.no_mmap,
+    )
 
 
 def run_serve_score(args) -> None:
@@ -523,6 +570,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="curves per streamed scoring chunk (bounds memory)")
     serve.add_argument("--output", default=None,
                        help="optional .npz path for the scores")
+    http = subparsers.add_parser(
+        "serve",
+        help="HTTP serving front door: POST /score and /submit route curve "
+             "batches into the micro-batching queue; GET /healthz and /stats")
+    http.add_argument("--pipeline", action="append", required=True,
+                      metavar="NAME=DIR",
+                      help="deployment name bound to a saved-pipeline directory "
+                           "(repeatable; requests address NAME or the spec hash)")
+    http.add_argument("--host", default="127.0.0.1", help="listen address")
+    http.add_argument("--port", type=int, default=8000,
+                      help="listen port (0 = pick a free port)")
+    http.add_argument("--workers", type=int, default=1,
+                      help="worker processes sharing the listening socket; "
+                           "each loads its own manifests and shares no "
+                           "mutable state")
+    http.add_argument("--max-pending", type=int, default=256,
+                      help="micro-batch flush threshold in queued curves")
+    http.add_argument("--high-water", type=int, default=4096,
+                      help="backpressure bound on outstanding curves — past "
+                           "it, POST /submit sheds with 429 + Retry-After")
+    http.add_argument("--flush-interval", type=float, default=0.05,
+                      help="deadline (s) after which a partial batch flushes")
+    http.add_argument("--no-mmap", action="store_true",
+                      help="load array bundles eagerly instead of zero-copy "
+                           "memory-mapping (mmap is the default)")
     return parser
 
 
@@ -536,6 +608,8 @@ def main(argv=None) -> int:
                 COMMANDS[name](args)
         elif args.command == "plan":
             run_plan_validate(args)
+        elif args.command == "serve":
+            run_serve(args)
         elif args.command == "serve-score":
             run_serve_score(args)
         elif args.command == "stream-score":

@@ -17,7 +17,12 @@ bit-identical to the serial order.
 
 from repro.engine.cache import CacheStats, FactorizationCache
 from repro.engine.context import ExecutionContext
-from repro.engine.shared import SharedArrayPool, SharedArrayRef, live_segments
+from repro.engine.shared import (
+    SharedArrayPool,
+    SharedArrayRef,
+    cleanup_live_segments,
+    live_segments,
+)
 
 __all__ = [
     "CacheStats",
@@ -25,5 +30,6 @@ __all__ = [
     "ExecutionContext",
     "SharedArrayPool",
     "SharedArrayRef",
+    "cleanup_live_segments",
     "live_segments",
 ]

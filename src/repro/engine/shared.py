@@ -34,8 +34,11 @@ everything.  :class:`SharedArrayPool` is a context manager whose
 
 from __future__ import annotations
 
+import atexit
 import os
+import signal
 import tempfile
+import threading
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
@@ -48,12 +51,69 @@ __all__ = [
     "SharedArrayRef",
     "attach_arrays",
     "detach_arrays",
+    "cleanup_live_segments",
     "live_segments",
 ]
 
 #: Names of shared segments / spill files created by this process that
 #: have not been unlinked yet.  Tests assert this drains to empty.
 _LIVE: set[str] = set()
+
+_HOOKS_INSTALLED = False
+_HOOKS_LOCK = threading.Lock()
+
+
+def cleanup_live_segments() -> None:
+    """Unlink every segment/spill this process still owns (idempotent).
+
+    Shared-memory segments outlive their creator: a parent killed
+    mid-run leaves orphans in ``/dev/shm`` (and spill files in tmp)
+    that survive until reboot.  This is the last-resort sweep the
+    exit hooks run; pools that exit normally have already drained
+    ``_LIVE`` through their own ``unlink``.
+    """
+    for name in list(_LIVE):
+        try:
+            if os.path.exists(name):  # memmap spill file
+                os.unlink(name)
+            else:  # shared-memory segment name
+                segment = _attach_shm(name)
+                segment.close()
+                segment.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover - already gone
+            pass
+        _LIVE.discard(name)
+
+
+def _signal_cleanup(signum, frame):  # pragma: no cover - exercised via subprocess
+    cleanup_live_segments()
+    # Restore the default disposition and re-raise so the process still
+    # dies with the conventional signal exit status (128 + signum).
+    signal.signal(signum, signal.SIG_DFL)
+    os.kill(os.getpid(), signum)
+
+
+def _install_cleanup_hooks() -> None:
+    """Install the atexit + SIGTERM unlink hooks, once per process.
+
+    ``atexit`` covers normal interpreter shutdown (including an
+    unwound ``KeyboardInterrupt``); SIGTERM — the polite kill, which
+    never runs atexit — gets a chaining handler, installed only when
+    the application has not claimed the signal itself.  Registration
+    happens lazily on first segment creation so merely importing the
+    library never touches process-global signal state.
+    """
+    global _HOOKS_INSTALLED
+    with _HOOKS_LOCK:
+        if _HOOKS_INSTALLED:
+            return
+        _HOOKS_INSTALLED = True
+        atexit.register(cleanup_live_segments)
+        try:
+            if signal.getsignal(signal.SIGTERM) is signal.SIG_DFL:
+                signal.signal(signal.SIGTERM, _signal_cleanup)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
 
 
 @dataclass(frozen=True)
@@ -195,6 +255,7 @@ class SharedArrayPool:
         return refs
 
     def _place_shm(self, array: np.ndarray) -> SharedArrayRef:
+        _install_cleanup_hooks()
         # size=0 segments are invalid; keep a 1-byte floor for empties.
         segment = shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
         _LIVE.add(segment.name)
@@ -204,6 +265,7 @@ class SharedArrayPool:
         return SharedArrayRef("shm", segment.name, tuple(array.shape), array.dtype.str)
 
     def _spill(self, array: np.ndarray) -> SharedArrayRef:
+        _install_cleanup_hooks()
         fd, path = tempfile.mkstemp(prefix="repro-spill-", suffix=".mm",
                                     dir=self.spill_dir)
         os.close(fd)

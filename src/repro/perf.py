@@ -57,14 +57,17 @@ __all__ = [
     "SCHEMA_VERSION",
     "BENCH_FILENAME",
     "STREAM_BENCH_FILENAME",
+    "SERVING_HTTP_BENCH_FILENAME",
     "GATED_KERNELS",
     "GATED_STREAM_CASES",
     "git_sha",
     "run_depth_kernel_bench",
     "run_scaled_depth_bench",
+    "run_serving_http_bench",
     "run_streaming_bench",
     "append_bench_record",
     "format_bench_rows",
+    "format_serving_http_rows",
     "format_streaming_rows",
 ]
 
@@ -112,7 +115,8 @@ def git_dirty(cwd=None) -> bool:
         out = subprocess.run(
             ["git", "status", "--porcelain", "--untracked-files=no",
              "--", ".", f":(exclude){BENCH_FILENAME}",
-             f":(exclude){STREAM_BENCH_FILENAME}"],
+             f":(exclude){STREAM_BENCH_FILENAME}",
+             f":(exclude){SERVING_HTTP_BENCH_FILENAME}"],
             capture_output=True, text=True, timeout=10, cwd=top.stdout.strip(),
         )
     except (OSError, subprocess.TimeoutExpired):
@@ -531,6 +535,335 @@ def format_streaming_rows(record: dict) -> tuple[list[str], list[list[str]]]:
                 f"{r['incremental_s'] / arrivals * 1e3:,.2f}",
                 f"{r['curves_per_s']:,.0f}",
                 f"{r['speedup']:.1f}x",
+            ]
+        )
+    return headers, rows
+
+
+# --------------------------------------------------------------------------
+# Serving-HTTP bench: the async front door under sustained and overload rates
+# --------------------------------------------------------------------------
+
+SERVING_HTTP_BENCH_FILENAME = "BENCH_serving_http.json"
+
+
+async def _http_post_json(host, port, path, doc, reader=None, writer=None):
+    """Minimal asyncio HTTP/1.1 JSON POST.
+
+    With ``reader``/``writer`` the request reuses an open keep-alive
+    connection (the closed-loop sustained phase); without them a fresh
+    connection is opened and closed (the open-loop overload phase, where
+    every arrival is an independent client).  Returns
+    ``(status, parsed_body)``.
+    """
+    import asyncio
+    import json as _json
+
+    own = reader is None
+    if own:
+        reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = _json.dumps(doc).encode("utf-8")
+        writer.write(
+            f"POST {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {'close' if own else 'keep-alive'}\r\n\r\n".encode("ascii")
+            + payload
+        )
+        await writer.drain()
+        status_line = await reader.readline()
+        status = int(status_line.split(b" ", 2)[1])
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = line.decode("latin-1").partition(":")
+            if key.strip().lower() == "content-length":
+                length = int(value.strip())
+        body = _json.loads(await reader.readexactly(length)) if length else {}
+        return status, body
+    finally:
+        if own:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+
+def _fit_fig3_pipeline(seed: int):
+    """Fit the Fig. 3 serving pipeline: iforest over curvature features.
+
+    This is the serving form of the paper's strongest Fig. 3 method —
+    an :class:`~repro.detectors.IsolationForest` (200 trees) on the
+    geometric aggregation of the square-augmented ECG substitute data.
+    """
+    from repro.core.pipeline import GeometricOutlierPipeline
+    from repro.data import make_ecg_dataset, square_augment
+    from repro.detectors import IsolationForest
+
+    data, _, _ = make_ecg_dataset(random_state=seed)
+    train = square_augment(data)
+    pipeline = GeometricOutlierPipeline(
+        IsolationForest(n_estimators=200, random_state=0), n_basis=20
+    )
+    pipeline.fit(train)
+    return pipeline, train
+
+
+def run_serving_http_bench(
+    batch_curves: int = 32,
+    sustained_requests: int = 300,
+    overload_requests: int = 400,
+    concurrency: int = 12,
+    overload_capacity: float = 2000.0,
+    overload_factor: float = 5.0,
+    flush_interval: float = 0.02,
+    seed: int = 7,
+    quick: bool = True,
+) -> dict:
+    """Benchmark the HTTP front door end-to-end over localhost.
+
+    Two phases, both against a :class:`~repro.serving.ScoringServer`
+    fronting the fitted Fig. 3 pipeline loaded zero-copy
+    (``mmap=True``) from an uncompressed manifest:
+
+    * **sustained** — ``concurrency`` closed-loop keep-alive clients
+      drive ``POST /submit`` as fast as responses return.  A generous
+      high-water mark means nothing sheds; the phase measures real
+      micro-batched scoring throughput (curves/s) and per-request
+      latency percentiles.
+    * **overload** — the pipeline's scorer is throttled to a *known*
+      flush capacity (``overload_capacity`` curves/s) and open-loop
+      arrivals are scheduled at ``overload_factor``× that capacity
+      against a small high-water mark.  This phase verifies the
+      backpressure contract: excess arrivals shed with 429 before
+      queueing, outstanding work stays bounded by the high-water mark
+      (plus the concurrent-admission race window), and every accepted
+      request resolves with finite scores.
+
+    The record mirrors the other ``BENCH_*`` trajectory schemas.
+    """
+    import asyncio
+    import tempfile
+    from pathlib import Path
+
+    from repro.data import make_ecg_dataset, square_augment
+    from repro.serving.persist import save_pipeline
+    from repro.serving.server import ScoringServer, load_service
+
+    pipeline, train = _fit_fig3_pipeline(seed)
+
+    # Client traffic: fresh curves from the same generator family.
+    probe, _, _ = make_ecg_dataset(random_state=seed + 1)
+    traffic = square_augment(probe)
+    batch = {
+        "pipeline": "fig3_iforest",
+        "values": traffic.values[:batch_curves].tolist(),
+        "grid": traffic.grid.tolist(),
+    }
+
+    results: dict[str, dict] = {}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle = Path(tmp) / "fig3_iforest"
+        save_pipeline(pipeline, bundle, compressed=False)
+
+        async def sustained_phase() -> dict:
+            service = load_service(
+                {"fig3_iforest": bundle}, max_pending=4 * batch_curves, mmap=True
+            )
+            server = ScoringServer(
+                service,
+                high_water=max(64 * batch_curves, concurrency * 4 * batch_curves),
+                flush_interval=flush_interval,
+            )
+            await server.start()
+            try:
+                # Warm the factorization cache off the clock.
+                await _http_post_json("127.0.0.1", server.port, "/score", batch)
+
+                latencies: list[float] = []
+                bad: list[str] = []
+                remaining = [sustained_requests]
+
+                async def worker() -> None:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", server.port
+                    )
+                    try:
+                        while remaining[0] > 0:
+                            remaining[0] -= 1
+                            t0 = time.perf_counter()
+                            status, body = await _http_post_json(
+                                "127.0.0.1", server.port, "/submit", batch,
+                                reader=reader, writer=writer,
+                            )
+                            latencies.append(time.perf_counter() - t0)
+                            if status != 200:
+                                bad.append(f"{status}: {body.get('error')}")
+                            elif not np.all(np.isfinite(body["scores"])):
+                                bad.append("non-finite scores")
+                    finally:
+                        writer.close()
+                        try:
+                            await writer.wait_closed()
+                        except OSError:
+                            pass
+
+                t_start = time.perf_counter()
+                await asyncio.gather(*(worker() for _ in range(concurrency)))
+                elapsed = time.perf_counter() - t_start
+            finally:
+                await server.close()
+
+            done = len(latencies)
+            lat_ms = np.asarray(latencies) * 1e3
+            p50, p95, p99 = np.percentile(lat_ms, [50, 95, 99])
+            return {
+                "phase": "sustained",
+                "requests": done,
+                "accepted": done - len(bad),
+                "shed": 0,
+                "errors": bad[:5],
+                "curves_per_s": round(done * batch_curves / max(elapsed, 1e-9), 1),
+                "p50_ms": round(float(p50), 3),
+                "p95_ms": round(float(p95), 3),
+                "p99_ms": round(float(p99), 3),
+                "flushes": server.service.stats()["flushes"],
+            }
+
+        async def overload_phase() -> dict:
+            service = load_service(
+                {"fig3_iforest": bundle}, max_pending=4 * batch_curves, mmap=True
+            )
+            # Pin the flush capacity so "5x capacity" is a statement about
+            # the workload, not about this machine: the scorer sleeps
+            # n / overload_capacity seconds per flushed batch.
+            loaded = service._pipeline("fig3_iforest")
+            real_score = loaded.score_samples
+
+            def throttled_score(mfd):
+                time.sleep(mfd.n_samples / overload_capacity)
+                return real_score(mfd)
+
+            loaded.score_samples = throttled_score
+
+            high_water = 4 * batch_curves
+            server = ScoringServer(
+                service, high_water=high_water, flush_interval=flush_interval
+            )
+            await server.start()
+
+            target_rps = overload_factor * overload_capacity / batch_curves
+            interval = 1.0 / target_rps
+            statuses: list[int] = []
+            bad: list[str] = []
+            max_outstanding = [0]
+            stop = asyncio.Event()
+
+            async def sampler() -> None:
+                while not stop.is_set():
+                    max_outstanding[0] = max(
+                        max_outstanding[0], service.outstanding_curves()
+                    )
+                    await asyncio.sleep(0.002)
+
+            async def one_request() -> None:
+                status, body = await _http_post_json(
+                    "127.0.0.1", server.port, "/submit", batch
+                )
+                statuses.append(status)
+                if status == 200 and not np.all(np.isfinite(body["scores"])):
+                    bad.append("non-finite scores")
+                elif status not in (200, 429):
+                    bad.append(f"{status}: {body.get('error')}")
+
+            try:
+                await _http_post_json("127.0.0.1", server.port, "/score", batch)
+                sampler_task = asyncio.ensure_future(sampler())
+                t_start = time.perf_counter()
+                tasks = []
+                for i in range(overload_requests):
+                    due = t_start + i * interval
+                    delay = due - time.perf_counter()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                    tasks.append(asyncio.ensure_future(one_request()))
+                # Arrival rate is a property of the schedule, so clock it
+                # when the last request is *sent*, not when responses drain.
+                elapsed = time.perf_counter() - t_start
+                await asyncio.gather(*tasks)
+                stop.set()
+                await sampler_task
+            finally:
+                await server.close()
+
+            accepted = sum(1 for s in statuses if s == 200)
+            shed = sum(1 for s in statuses if s == 429)
+            stats = service.stats()
+            return {
+                "phase": "overload",
+                "requests": len(statuses),
+                "accepted": accepted,
+                "shed": shed,
+                "errors": bad[:5],
+                "arrival_curves_per_s": round(target_rps * batch_curves, 1),
+                "capacity_curves_per_s": overload_capacity,
+                "achieved_rps": round(len(statuses) / max(elapsed, 1e-9), 1),
+                "high_water": high_water,
+                "max_outstanding": max_outstanding[0],
+                "served_requests": stats["served_requests"],
+                "failed_requests": stats["failed_requests"],
+            }
+
+        results["sustained"] = asyncio.run(sustained_phase())
+        results["overload"] = asyncio.run(overload_phase())
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "serving_http",
+        "git_sha": git_sha(),
+        "dirty": git_dirty(),
+        "created_unix": round(time.time(), 3),
+        "quick": bool(quick),
+        "workload": {
+            "batch_curves": batch_curves,
+            "sustained_requests": sustained_requests,
+            "overload_requests": overload_requests,
+            "concurrency": concurrency,
+            "overload_capacity": overload_capacity,
+            "overload_factor": overload_factor,
+            "flush_interval": flush_interval,
+            "seed": seed,
+            "pipeline": "fig3 iforest(n_estimators=200) / n_basis=20 / square_augment ECG",
+        },
+        "results": [results["sustained"], results["overload"]],
+    }
+
+
+def format_serving_http_rows(record: dict) -> tuple[list[str], list[list[str]]]:
+    """Table headers + rows for a serving-HTTP bench record."""
+    headers = [
+        "phase", "requests", "accepted", "shed", "curves/s",
+        "p50 ms", "p95 ms", "p99 ms", "max outstanding",
+    ]
+    rows = []
+    for r in record["results"]:
+        rows.append(
+            [
+                r["phase"],
+                str(r["requests"]),
+                str(r["accepted"]),
+                str(r["shed"]),
+                f"{r['curves_per_s']:,.0f}" if "curves_per_s" in r
+                else f"(arrival {r['arrival_curves_per_s']:,.0f})",
+                f"{r['p50_ms']:.1f}" if "p50_ms" in r else "-",
+                f"{r['p95_ms']:.1f}" if "p95_ms" in r else "-",
+                f"{r['p99_ms']:.1f}" if "p99_ms" in r else "-",
+                str(r.get("max_outstanding", "-")),
             ]
         )
     return headers, rows

@@ -52,6 +52,7 @@ from repro.plan.specs import (
     load_spec,
     spec_from_dict,
     spec_from_json,
+    spec_hash,
     spec_to_json,
 )
 

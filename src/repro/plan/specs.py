@@ -31,6 +31,7 @@ tag via :data:`SPEC_TYPES`; each spec's ``to_dict`` emits it.
 
 from __future__ import annotations
 
+import hashlib
 import inspect
 import json
 from dataclasses import dataclass, field, fields
@@ -58,6 +59,7 @@ __all__ = [
     "load_spec",
     "spec_from_dict",
     "spec_from_json",
+    "spec_hash",
     "spec_to_json",
 ]
 
@@ -742,6 +744,26 @@ def spec_to_json(spec, indent: int | None = 2) -> str:
             f"{sorted(cls.__name__ for cls in SPEC_TYPES.values())}"
         )
     return json.dumps(spec.to_dict(), indent=indent, sort_keys=True)
+
+
+def spec_hash(spec) -> str:
+    """Content hash of a spec: sha256 over its canonical JSON, hex digest.
+
+    Canonical means sorted keys and compact separators, so the hash is
+    stable across processes, Python versions and dict insertion orders
+    — two specs hash equal iff their JSON round-trips are equal.  The
+    serving tier uses it as the routing key for deployed pipelines: a
+    request may address a model by the hash of its declarative spec
+    instead of a deployment-local name, and every worker process
+    derives the same key from the same manifest with no coordination.
+    """
+    if not isinstance(spec, tuple(SPEC_TYPES.values())):
+        raise ConfigurationError(
+            f"cannot hash {type(spec).__name__}; top-level specs are "
+            f"{sorted(cls.__name__ for cls in SPEC_TYPES.values())}"
+        )
+    canonical = json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def load_spec(path):

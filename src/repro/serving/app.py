@@ -1,0 +1,220 @@
+"""Route handlers for the HTTP serving front door.
+
+This module is the *application* layer of :mod:`repro.serving.server`:
+pure request → response logic over a :class:`~repro.serving.ScoringService`,
+with no socket or HTTP-framing code.  The transport hands each parsed
+request to :meth:`ServingApp.dispatch`; everything here is testable
+without opening a port.
+
+Wire format
+-----------
+Requests and responses are JSON.  A scoring request body is::
+
+    {"pipeline": "<name or spec hash>",
+     "values": [[...], ...],          # (n, m) or (n, m, p) nested lists
+     "grid": [...]}                   # (m,) strictly increasing
+
+* ``POST /score``  — score the batch immediately (bypasses the queue).
+* ``POST /submit`` — enqueue into the micro-batch queue; the response
+  arrives once the batch's flush resolves (``max_pending``-or-deadline,
+  see the server's flush loop).  Under overload the request is shed
+  **before** being queued with status ``429`` and a ``Retry-After``
+  header — the queue is bounded by the high-water mark, never by
+  available memory.
+* ``GET /healthz`` — liveness + the registered pipeline names.
+* ``GET /stats``   — service counters (queue depth, flushes, cache
+  hits) plus the front door's own accept/shed/latency counters.
+
+Pipelines are addressable by their registered *name* or by their
+declarative **spec hash** (:func:`repro.plan.spec_hash` of the
+pipeline's :class:`~repro.plan.PipelineSpec`) — the stable routing key
+that lets a load balancer target "this exact model configuration"
+across a fleet of workers without coordinating name assignments.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+
+from repro.exceptions import ReproError, ValidationError
+from repro.fda.fdata import MFDataGrid
+
+__all__ = ["JsonResponse", "ServingApp"]
+
+
+class JsonResponse:
+    """Status + JSON-able body + optional extra headers."""
+
+    __slots__ = ("status", "body", "headers")
+
+    def __init__(self, status: int, body: dict, headers: dict | None = None):
+        self.status = status
+        self.body = body
+        self.headers = headers or {}
+
+
+def _parse_batch(doc: dict) -> MFDataGrid:
+    """Lower a request body's ``values``/``grid`` into an MFDataGrid."""
+    missing = [key for key in ("values", "grid") if key not in doc]
+    if missing:
+        raise ValidationError(f"request body is missing keys: {missing}")
+    try:
+        values = np.asarray(doc["values"], dtype=np.float64)
+        grid = np.asarray(doc["grid"], dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"values/grid are not numeric arrays: {exc}") from exc
+    if values.ndim == 2:
+        values = values[:, :, None]
+    if values.ndim != 3:
+        raise ValidationError(
+            f"values must nest to (n, m) or (n, m, p), got shape {values.shape}"
+        )
+    return MFDataGrid(values, grid)
+
+
+class ServingApp:
+    """The four routes of the front door, bound to one scoring service.
+
+    Parameters
+    ----------
+    service:
+        The (thread-safe) :class:`~repro.serving.ScoringService` all
+        scoring routes go through.
+    high_water:
+        Load-shedding bound: once the service's outstanding curves
+        (queued + mid-flush) reach this mark, ``POST /submit`` sheds
+        with 429 instead of queueing.  This is what keeps the queue —
+        and the worst-case tail latency of accepted requests — bounded
+        under an arrival rate the flush capacity cannot match.
+    retry_after:
+        Seconds advertised in the 429 ``Retry-After`` header.
+    """
+
+    def __init__(self, service, high_water: int = 4096, retry_after: float = 1.0):
+        from repro.serving.service import ScoringService
+
+        if not isinstance(service, ScoringService):
+            raise ValidationError(
+                f"service must be a ScoringService, got {type(service).__name__}"
+            )
+        if not isinstance(high_water, (int, np.integer)) or high_water < 1:
+            raise ValidationError(f"high_water must be a positive int, got {high_water!r}")
+        self.service = service
+        self.high_water = int(high_water)
+        self.retry_after = float(retry_after)
+        self._lock = threading.Lock()
+        self.accepted_requests = 0
+        self.shed_requests = 0
+        # name -> name plus spec-hash -> name aliases, rebuilt on demand.
+        self._routes: dict[str, str] = {}
+
+    # ------------------------------------------------------------------ routing
+    def routes(self) -> dict[str, str]:
+        """Current routing table: name and spec-hash keys → pipeline name."""
+        from repro.core.pipeline import GeometricOutlierPipeline
+        from repro.plan import pipeline_to_spec, spec_hash
+
+        table: dict[str, str] = {}
+        for name in self.service.names():
+            table[name] = name
+            pipeline = self.service._pipeline(name)
+            if isinstance(pipeline, GeometricOutlierPipeline):
+                try:
+                    table[spec_hash(pipeline_to_spec(pipeline))] = name
+                except ReproError:  # pragma: no cover - unhashable config
+                    pass
+        self._routes = table
+        return table
+
+    def resolve(self, key: str) -> str:
+        """Pipeline name for a request's ``pipeline`` key (name or hash)."""
+        if key in self._routes:
+            return self._routes[key]
+        table = self.routes()  # refresh once for late registrations
+        if key in table:
+            return table[key]
+        raise ValidationError(
+            f"no pipeline named (or spec-hashed) {key!r}; "
+            f"loaded: {self.service.names()}"
+        )
+
+    # ------------------------------------------------------------------ routes
+    def healthz(self) -> JsonResponse:
+        return JsonResponse(200, {"status": "ok", "pipelines": self.service.names()})
+
+    def stats(self) -> JsonResponse:
+        with self._lock:
+            accepted, shed = self.accepted_requests, self.shed_requests
+        body = self.service.stats()
+        body["http"] = {
+            "accepted_requests": accepted,
+            "shed_requests": shed,
+            "high_water": self.high_water,
+        }
+        return JsonResponse(200, body)
+
+    def _parse_scoring_request(self, body: bytes) -> tuple[str, MFDataGrid]:
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValidationError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise ValidationError(
+                f"request body must be a JSON object, got {type(doc).__name__}"
+            )
+        key = doc.get("pipeline")
+        if not isinstance(key, str) or not key:
+            raise ValidationError("request body needs a 'pipeline' name or spec hash")
+        return self.resolve(key), _parse_batch(doc)
+
+    def score(self, body: bytes) -> JsonResponse:
+        """Immediate scoring — no queue, no backpressure beyond the socket."""
+        name, mfd = self._parse_scoring_request(body)
+        scores = self.service.score(name, mfd)
+        with self._lock:
+            self.accepted_requests += 1
+        return JsonResponse(200, {"pipeline": name, "scores": scores.tolist()})
+
+    def try_submit(self, body: bytes):
+        """Queue a scoring request, or shed it.
+
+        Returns either the queued :class:`~repro.serving.ScoreTicket`
+        (the transport awaits its resolution off the event loop) or a
+        429 :class:`JsonResponse` when accepting the batch would push
+        outstanding work past the high-water mark.  The shed decision is
+        made *before* the curves enter the queue, so a sustained
+        overload costs one JSON parse per rejected request and no queue
+        growth.
+        """
+        name, mfd = self._parse_scoring_request(body)
+        if self.service.outstanding_curves() + mfd.n_samples > self.high_water:
+            with self._lock:
+                self.shed_requests += 1
+            return JsonResponse(
+                429,
+                {
+                    "error": "queue full — request shed",
+                    "outstanding_curves": self.service.outstanding_curves(),
+                    "high_water": self.high_water,
+                },
+                headers={"Retry-After": f"{self.retry_after:g}"},
+            )
+        ticket = self.service.submit(name, mfd, auto_flush=False)
+        with self._lock:
+            self.accepted_requests += 1
+        return ticket
+
+    def ticket_response(self, ticket) -> JsonResponse:
+        """Response for a resolved ticket (scores or captured error)."""
+        try:
+            scores = ticket.result()
+        except ReproError as exc:
+            return JsonResponse(422, {"error": f"{type(exc).__name__}: {exc}"})
+        except Exception as exc:  # pragma: no cover - defensive
+            return JsonResponse(500, {"error": f"{type(exc).__name__}: {exc}"})
+        return JsonResponse(
+            200, {"pipeline": ticket.pipeline_name, "scores": scores.tolist()}
+        )

@@ -43,6 +43,7 @@ The manifest header is ``{"format": "repro-pipeline",
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 from zipfile import BadZipFile
 
@@ -113,8 +114,15 @@ def _unflatten(node, arrays):
     return node
 
 
-def save_pipeline(pipeline: GeometricOutlierPipeline, path) -> Path:
+def save_pipeline(pipeline: GeometricOutlierPipeline, path, compressed: bool = True) -> Path:
     """Persist a fitted pipeline to directory ``path`` (created if needed).
+
+    ``compressed=False`` stores the array bundle uncompressed
+    (``np.savez``): the file is larger, but every member becomes
+    memory-mappable, so serving workers can open it zero-copy with
+    ``load_pipeline(..., mmap=True)`` — N worker processes on one host
+    share a single page-cache copy of the fitted arrays instead of N
+    private heaps.
 
     Writes ``manifest.json`` + ``arrays.npz`` (see the module docstring
     for the format).  The manifest's ``spec`` section is the pipeline's
@@ -152,7 +160,8 @@ def save_pipeline(pipeline: GeometricOutlierPipeline, path) -> Path:
     with open(path / MANIFEST_NAME, "w", encoding="utf-8") as fh:
         json.dump(manifest, fh, indent=2, sort_keys=True)
         fh.write("\n")
-    np.savez_compressed(path / ARRAYS_NAME, **arrays)
+    savez = np.savez_compressed if compressed else np.savez
+    savez(path / ARRAYS_NAME, **arrays)
     return path
 
 
@@ -180,11 +189,84 @@ def _read_manifest(path: Path) -> dict:
     return manifest
 
 
-def _read_arrays(path: Path) -> dict:
+def _memmap_npz_member(arrays_path: Path, info: zipfile.ZipInfo) -> np.ndarray:
+    """Zero-copy ndarray view of one *stored* (uncompressed) npz member.
+
+    ``np.load`` always streams npz members through zipfile into fresh
+    heap buffers, even with ``mmap_mode`` — so a fleet of serving
+    workers would each hold a private copy of the fitted arrays.  For a
+    ZIP_STORED member the ``.npy`` payload sits contiguously in the
+    archive, so we parse the local file header to find it, parse the
+    ``.npy`` header for shape/dtype/order, and hand back an
+    ``np.memmap`` view straight into the page cache.
+    """
+    from numpy.lib import format as npy_format
+
+    with open(arrays_path, "rb") as fh:
+        fh.seek(info.header_offset)
+        local = fh.read(30)
+        if len(local) != 30 or local[:4] != b"PK\x03\x04":
+            raise PersistenceError(
+                f"corrupt zip local header for {info.filename!r} in {arrays_path}"
+            )
+        name_len = int.from_bytes(local[26:28], "little")
+        extra_len = int.from_bytes(local[28:30], "little")
+        fh.seek(info.header_offset + 30 + name_len + extra_len)
+        version = npy_format.read_magic(fh)
+        if version == (1, 0):
+            shape, fortran_order, dtype = npy_format.read_array_header_1_0(fh)
+        elif version == (2, 0):
+            shape, fortran_order, dtype = npy_format.read_array_header_2_0(fh)
+        else:
+            raise PersistenceError(
+                f"unsupported .npy format version {version} for "
+                f"{info.filename!r} in {arrays_path}"
+            )
+        data_offset = fh.tell()
+    if dtype.hasobject:
+        raise PersistenceError(
+            f"array {info.filename!r} in {arrays_path} has object dtype"
+        )
+    mm = np.memmap(
+        arrays_path,
+        dtype=dtype,
+        mode="r",
+        offset=data_offset,
+        shape=tuple(shape),
+        order="F" if fortran_order else "C",
+    )
+    return mm
+
+
+def _read_arrays(path: Path, mmap: bool = False) -> dict:
+    """Arrays of the bundle; ``mmap=True`` maps stored members zero-copy.
+
+    With ``mmap`` on, every uncompressed (ZIP_STORED) member comes back
+    as a read-only ``np.memmap`` view into the archive file — no heap
+    copy, shared page-cache across worker processes.  Deflated members
+    (the ``compressed=True`` save default) cannot be mapped and fall
+    back to a normal eager read, so ``mmap=True`` is always safe to
+    request.
+    """
     arrays_path = path / ARRAYS_NAME
     if not arrays_path.is_file():
         raise PersistenceError(f"no pipeline array bundle at {arrays_path}")
     try:
+        if mmap:
+            arrays: dict = {}
+            deflated: list[str] = []
+            with zipfile.ZipFile(arrays_path) as zf:
+                for info in zf.infolist():
+                    key = info.filename[:-4] if info.filename.endswith(".npy") else info.filename
+                    if info.compress_type == zipfile.ZIP_STORED and info.file_size > 0:
+                        arrays[key] = _memmap_npz_member(arrays_path, info)
+                    else:
+                        deflated.append(key)
+            if deflated:
+                with np.load(arrays_path, allow_pickle=False) as bundle:
+                    for key in deflated:
+                        arrays[key] = bundle[key]
+            return arrays
         with np.load(arrays_path, allow_pickle=False) as bundle:
             return {key: bundle[key] for key in bundle.files}
     except (OSError, ValueError, BadZipFile) as exc:
@@ -247,7 +329,11 @@ def read_spec(path):
     return spec
 
 
-def load_pipeline(path, context: ExecutionContext | None = None) -> GeometricOutlierPipeline:
+def load_pipeline(
+    path,
+    context: ExecutionContext | None = None,
+    mmap: bool = False,
+) -> GeometricOutlierPipeline:
     """Load a pipeline saved by :func:`save_pipeline`, ready to score.
 
     The declarative section is parsed and validated by the spec layer,
@@ -268,7 +354,7 @@ def load_pipeline(path, context: ExecutionContext | None = None) -> GeometricOut
     if not path.is_dir():
         raise PersistenceError(f"no saved pipeline directory at {path}")
     manifest = _read_manifest(path)
-    arrays = _read_arrays(path)
+    arrays = _read_arrays(path, mmap=mmap)
     state = _unflatten(manifest["state"], arrays)
     try:
         if manifest["format_version"] == 1:
@@ -280,7 +366,11 @@ def load_pipeline(path, context: ExecutionContext | None = None) -> GeometricOut
     missing = [key for key in _REQUIRED_STATE_KEYS if key not in state]
     if missing:
         raise PersistenceError(f"manifest state in {path} is missing keys: {missing}")
+    # ValueError/TypeError cover hand-edited manifests whose state values
+    # have the right keys but the wrong shapes/types (e.g. a string where
+    # an array belongs) — NumPy raises those from deep inside the restore
+    # and they used to escape as raw tracebacks.
     try:
         return restore_pipeline(spec, state, context=context)
-    except ReproError as exc:
+    except (ReproError, ValueError, TypeError) as exc:
         raise PersistenceError(f"cannot restore pipeline from {path}: {exc}") from exc

@@ -31,6 +31,7 @@ reference streams.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator
 
 import numpy as np
@@ -172,20 +173,62 @@ class DepthScorer:
         )
 
 
-class ScoreTicket:
-    """Handle for one queued scoring request (see :meth:`ScoringService.submit`)."""
+def _check_scores_shape(scores, n_samples: int, name: str) -> None:
+    """Reject a scorer that returned the wrong number of scores.
 
-    __slots__ = ("pipeline_name", "n_samples", "_scores", "_error")
+    Without this, splitting a merged flush group back per ticket would
+    silently hand some tickets truncated (or misaligned) score slices.
+    """
+    scores = np.asarray(scores)
+    if scores.shape != (n_samples,):
+        raise ValidationError(
+            f"pipeline {name!r} returned scores of shape {scores.shape} "
+            f"for a batch of {n_samples} curves"
+        )
+
+
+class ScoreTicket:
+    """Handle for one queued scoring request (see :meth:`ScoringService.submit`).
+
+    A ticket resolves **exactly once** — with scores or with a captured
+    error — on the flush that drains it.  :meth:`wait` blocks until
+    resolution (the hook the HTTP front door uses to await a flush from
+    another thread), and :meth:`result` returns the scores or re-raises
+    the per-ticket failure.
+    """
+
+    __slots__ = ("pipeline_name", "n_samples", "_scores", "_error", "_resolved")
 
     def __init__(self, pipeline_name: str, n_samples: int):
         self.pipeline_name = pipeline_name
         self.n_samples = n_samples
         self._scores: np.ndarray | None = None
-        self._error: Exception | None = None
+        self._error: BaseException | None = None
+        self._resolved = threading.Event()
 
     @property
     def done(self) -> bool:
-        return self._scores is not None or self._error is not None
+        return self._resolved.is_set()
+
+    @property
+    def failed(self) -> bool:
+        return self._error is not None
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until this ticket resolves; True once it has."""
+        return self._resolved.wait(timeout)
+
+    def _resolve(self, scores: np.ndarray) -> None:
+        if self._resolved.is_set():  # pragma: no cover - double-resolve guard
+            raise RuntimeError(f"ticket {self!r} already resolved")
+        self._scores = scores
+        self._resolved.set()
+
+    def _fail(self, error: BaseException) -> None:
+        if self._resolved.is_set():  # pragma: no cover - double-resolve guard
+            raise RuntimeError(f"ticket {self!r} already resolved")
+        self._error = error
+        self._resolved.set()
 
     def result(self) -> np.ndarray:
         """The scores, once the owning service has flushed this ticket.
@@ -195,7 +238,7 @@ class ScoreTicket:
         """
         if self._error is not None:
             raise self._error
-        if self._scores is None:
+        if not self._resolved.is_set():
             raise NotFittedError(
                 "ticket is still pending — call ScoringService.flush() first"
             )
@@ -230,9 +273,18 @@ class ScoringService:
         self.max_pending = check_int(max_pending, "max_pending", minimum=1)
         self._pipelines: dict[str, GeometricOutlierPipeline] = {}
         self._queue: list[tuple[tuple, MFDataGrid, ScoreTicket]] = []
+        # One lock guards the queue and every counter: submit/flush are
+        # called concurrently by the HTTP front door's request handlers
+        # and its background flusher, and unguarded `+=`/list-swap races
+        # were exactly the stats-drift and dropped-ticket bugs this
+        # layer used to have.  Scoring itself runs outside the lock, so
+        # a long flush never blocks enqueueing.
+        self._lock = threading.Lock()
         self._pending_curves = 0
+        self._inflight_curves = 0
         self.served_curves = 0
         self.served_requests = 0
+        self.failed_requests = 0
         self.flushes = 0
 
     # ------------------------------------------------------------------ registry
@@ -291,15 +343,19 @@ class ScoringService:
         """Score one batch immediately (bypassing the queue)."""
         mfd = as_mfd(data)
         scores = self._pipeline(name).score_samples(mfd)
-        self.served_curves += mfd.n_samples
-        self.served_requests += 1
+        with self._lock:
+            self.served_curves += mfd.n_samples
+            self.served_requests += 1
         return scores
 
-    def submit(self, name: str, data) -> ScoreTicket:
+    def submit(self, name: str, data, auto_flush: bool = True) -> ScoreTicket:
         """Queue a batch for micro-batched scoring; returns its ticket.
 
         Tickets resolve on the next :meth:`flush` (triggered
-        automatically once ``max_pending`` curves are queued).
+        automatically once ``max_pending`` curves are queued, unless
+        ``auto_flush=False`` — the HTTP front door disables it so the
+        event loop, not the submitting request, decides when to pay the
+        flush and can run it off-thread).
         """
         mfd = as_mfd(data)
         pipeline = self._pipeline(name)  # fail fast on unknown names
@@ -311,9 +367,11 @@ class ScoringService:
             )
         ticket = ScoreTicket(name, mfd.n_samples)
         group_key = (name, _grid_key(mfd.grid), mfd.n_parameters)
-        self._queue.append((group_key, mfd, ticket))
-        self._pending_curves += mfd.n_samples
-        if self._pending_curves >= self.max_pending:
+        with self._lock:
+            self._queue.append((group_key, mfd, ticket))
+            self._pending_curves += mfd.n_samples
+            should_flush = auto_flush and self._pending_curves >= self.max_pending
+        if should_flush:
             self.flush()
         return ticket
 
@@ -325,47 +383,80 @@ class ScoringService:
         through the pipeline once, and the score vector is split back
         per ticket.  Grouping preserves per-curve results (smoothing and
         detection are row-independent), so micro-batching is a pure
-        throughput optimization.  A batch that fails to score poisons
-        only its own group: the error is re-raised from those tickets'
-        :meth:`ScoreTicket.result`, and every other group still
-        resolves.
+        throughput optimization.
+
+        Exception safety: every ticket drained by this call resolves,
+        whatever happens mid-flush.  A batch that fails to score poisons
+        only its own group (the error re-raises from those tickets'
+        :meth:`ScoreTicket.result`); if the flush itself is torn down by
+        a non-``Exception`` failure (``KeyboardInterrupt``, worker
+        ``SystemExit``), the unprocessed tickets are failed with the
+        aborting cause rather than silently dropped — the queue was
+        already swapped out, so nothing else would ever resolve them.
         """
-        queue, self._queue = self._queue, []
-        self._pending_curves = 0
-        if not queue:
-            return 0
-        groups: dict[tuple, list[tuple[MFDataGrid, ScoreTicket]]] = {}
-        for group_key, mfd, ticket in queue:
-            groups.setdefault(group_key, []).append((mfd, ticket))
-        for (name, _, _), entries in groups.items():
-            try:
-                if len(entries) == 1:
-                    mfd, ticket = entries[0]
-                    ticket._scores = self._pipeline(name).score_samples(mfd)
-                else:
-                    first = entries[0][0]
-                    merged = MFDataGrid(
-                        np.concatenate([mfd.values for mfd, _ in entries], axis=0),
-                        first.grid,
+        with self._lock:
+            queue, self._queue = self._queue, []
+            self._pending_curves = 0
+            if not queue:
+                return 0
+            self._inflight_curves += sum(mfd.n_samples for _, mfd, _ in queue)
+        served_curves = 0
+        served_requests = 0
+        failed_requests = 0
+        try:
+            groups: dict[tuple, list[tuple[MFDataGrid, ScoreTicket]]] = {}
+            for group_key, mfd, ticket in queue:
+                groups.setdefault(group_key, []).append((mfd, ticket))
+            for (name, _, _), entries in groups.items():
+                try:
+                    if len(entries) == 1:
+                        mfd, ticket = entries[0]
+                        scores = self._pipeline(name).score_samples(mfd)
+                        _check_scores_shape(scores, mfd.n_samples, name)
+                        ticket._resolve(scores)
+                    else:
+                        first = entries[0][0]
+                        merged = MFDataGrid(
+                            np.concatenate([mfd.values for mfd, _ in entries], axis=0),
+                            first.grid,
+                        )
+                        scores = self._pipeline(name).score_samples(merged)
+                        _check_scores_shape(scores, merged.n_samples, name)
+                        offset = 0
+                        for mfd, ticket in entries:
+                            ticket._resolve(scores[offset : offset + mfd.n_samples])
+                            offset += mfd.n_samples
+                except Exception as exc:
+                    for _, ticket in entries:
+                        if not ticket.done:
+                            ticket._fail(exc)
+                    failed_requests += len(entries)
+                    continue
+                served_curves += sum(mfd.n_samples for mfd, _ in entries)
+                served_requests += len(entries)
+        except BaseException as exc:
+            # Torn down mid-flush: fail the stragglers, then re-raise.
+            for _, _, ticket in queue:
+                if not ticket.done:
+                    ticket._fail(
+                        RuntimeError(f"flush aborted mid-run by {type(exc).__name__}: {exc}")
                     )
-                    scores = self._pipeline(name).score_samples(merged)
-                    offset = 0
-                    for mfd, ticket in entries:
-                        ticket._scores = scores[offset : offset + mfd.n_samples]
-                        offset += mfd.n_samples
-            except Exception as exc:
-                for _, ticket in entries:
-                    ticket._error = exc
-                continue
-            self.served_curves += sum(mfd.n_samples for mfd, _ in entries)
-            self.served_requests += len(entries)
-        self.flushes += 1
+                    failed_requests += 1
+            raise
+        finally:
+            with self._lock:
+                self._inflight_curves -= sum(mfd.n_samples for _, mfd, _ in queue)
+                self.served_curves += served_curves
+                self.served_requests += served_requests
+                self.failed_requests += failed_requests
+                self.flushes += 1
         return len(queue)
 
     def _count_traffic(self, chunk, _result) -> None:
         """`run_chunked` observe hook: fold one served chunk into the stats."""
-        self.served_curves += chunk.n_samples
-        self.served_requests += 1
+        with self._lock:
+            self.served_curves += chunk.n_samples
+            self.served_requests += 1
 
     def stream(self, name: str, data, chunk_size: int = 256) -> Iterator[StreamBatchResult]:
         """Online route: feed chunks through streaming detector ``name``.
@@ -414,15 +505,31 @@ class ScoringService:
 
     # ------------------------------------------------------------------ stats
     def stats(self) -> dict:
-        """Service counters plus the shared cache's hit/build counters."""
-        return {
-            "pipelines": len(self._pipelines),
-            "served_curves": self.served_curves,
-            "served_requests": self.served_requests,
-            "flushes": self.flushes,
-            "pending_requests": len(self._queue),
-            "cache": self.context.cache.stats.as_dict(),
-        }
+        """Service counters plus the shared cache's hit/build counters.
+
+        ``pending_curves`` counts curves still queued;
+        ``inflight_curves`` counts curves swapped out by a flush that
+        has not resolved yet — their sum is the service's outstanding
+        work, which the HTTP front door compares against its high-water
+        mark to decide load shedding.
+        """
+        with self._lock:
+            return {
+                "pipelines": len(self._pipelines),
+                "served_curves": self.served_curves,
+                "served_requests": self.served_requests,
+                "failed_requests": self.failed_requests,
+                "flushes": self.flushes,
+                "pending_requests": len(self._queue),
+                "pending_curves": self._pending_curves,
+                "inflight_curves": self._inflight_curves,
+                "cache": self.context.cache.stats.as_dict(),
+            }
+
+    def outstanding_curves(self) -> int:
+        """Curves accepted but not yet resolved (queued + in-flight)."""
+        with self._lock:
+            return self._pending_curves + self._inflight_curves
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -223,3 +223,53 @@ class TestBenchStream:
         assert {r["case"] for r in record["results"]} >= {
             "funta_p1", "dirout_p1", "halfspace_p1",
         }
+
+
+class TestServeScoreDiagnostics:
+    def test_state_type_corruption_exits_2_with_one_line_error(
+        self, saved_pipeline, capsys
+    ):
+        """A malformed manifest prints one diagnostic line, not a traceback."""
+        model_dir, batch_path = saved_pipeline
+        manifest_path = model_dir / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["state"]["eval_grid"] = "hello"
+        manifest_path.write_text(json.dumps(manifest))
+        rc = main(["serve-score", "--pipeline", str(model_dir),
+                   "--data", str(batch_path)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot restore pipeline" in err
+        assert "Traceback" not in err
+
+
+class TestServeCommand:
+    def test_parser_accepts_serve_options(self):
+        args = build_parser().parse_args([
+            "serve", "--pipeline", "ecg=/models/ecg", "--pipeline", "eeg=/models/eeg",
+            "--port", "9000", "--workers", "4", "--high-water", "512",
+        ])
+        assert args.command == "serve"
+        assert args.pipeline == ["ecg=/models/ecg", "eeg=/models/eeg"]
+        assert (args.port, args.workers, args.high_water) == (9000, 4, 512)
+
+    def test_pipeline_without_equals_exits_2(self, capsys):
+        rc = main(["serve", "--pipeline", "just-a-path"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "NAME=DIR" in err
+
+    def test_duplicate_pipeline_name_exits_2(self, saved_pipeline, capsys):
+        model_dir, _ = saved_pipeline
+        rc = main(["serve", "--pipeline", f"m={model_dir}",
+                   "--pipeline", f"m={model_dir}"])
+        assert rc == 2
+        assert "duplicate" in capsys.readouterr().err
+
+    def test_missing_manifest_directory_exits_2(self, tmp_path, capsys):
+        rc = main(["serve", "--pipeline", f"m={tmp_path / 'nope'}"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err

@@ -181,3 +181,83 @@ class TestRunBlocks:
             np.testing.assert_array_equal(s, p)
         assert not os.listdir(tmp_path)
         assert not live_segments()
+
+
+class TestCleanupHooks:
+    def test_cleanup_live_segments_idempotent(self):
+        pool = SharedArrayPool()
+        refs = pool.share({"a": np.arange(6.0)})
+        from repro.engine import cleanup_live_segments
+
+        assert refs["a"].location in live_segments()
+        cleanup_live_segments()
+        assert not live_segments()
+        cleanup_live_segments()  # second sweep over nothing is a no-op
+        assert not live_segments()
+
+    @pytest.mark.parametrize("how", ["sigterm", "exception"])
+    def test_killed_process_leaves_no_orphan_segments(self, how, tmp_path):
+        """SIGTERM / unhandled exit must unlink /dev/shm segments.
+
+        The child creates shared segments, reports their names, then
+        either blocks until SIGTERM'd or raises; the parent asserts the
+        segments are gone afterwards.  This is the regression test for
+        interrupted parents orphaning segments until reboot.
+        """
+        import signal
+        import subprocess
+        import sys
+        import time
+        from multiprocessing import shared_memory
+
+        script = r"""
+import sys
+import numpy as np
+from repro.engine import SharedArrayPool, live_segments
+
+pool = SharedArrayPool()
+pool.share({"a": np.arange(512.0), "b": np.ones((64, 8))})
+print("SEGMENTS:" + ",".join(sorted(live_segments())), flush=True)
+if sys.argv[1] == "exception":
+    raise RuntimeError("die without unlinking")
+import time
+while True:
+    time.sleep(0.1)
+"""
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, how],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        try:
+            line = proc.stdout.readline().strip()
+            assert line.startswith("SEGMENTS:"), f"child said {line!r}"
+            names = [n for n in line[len("SEGMENTS:"):].split(",") if n]
+            assert names, "child created no segments"
+            if how == "sigterm":
+                proc.send_signal(signal.SIGTERM)
+                proc.wait(timeout=10)
+                assert proc.returncode == -signal.SIGTERM
+            else:
+                proc.wait(timeout=10)
+                assert proc.returncode == 1
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+        # Give the dying process a beat to finish its unlink sweep.
+        deadline = time.monotonic() + 5
+        leaked = names
+        while leaked and time.monotonic() < deadline:
+            leaked = []
+            for name in names:
+                try:
+                    segment = shared_memory.SharedMemory(name=name)
+                except FileNotFoundError:
+                    continue
+                segment.close()
+                leaked.append(name)
+            time.sleep(0.05)
+        assert not leaked, f"orphaned shared segments: {leaked}"

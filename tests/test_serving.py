@@ -429,3 +429,197 @@ class TestScoreStream:
         pipeline = _fitted_pipeline(data)
         with pytest.raises(ValidationError):
             list(score_stream(pipeline, data, chunk_size=0))
+
+
+class TestFlushHardening:
+    """Exception safety + counter integrity of the micro-batch queue."""
+
+    def test_failed_ticket_reraises_captured_error(self, dataset):
+        data, _ = dataset
+        service = ScoringService()
+        service.register("main", _fitted_pipeline(data))
+        bad = service.submit("main", MFDataGrid(data.values[:3, :, :1], data.grid))
+        service.flush()
+        assert bad.done and bad.failed
+        with pytest.raises(Exception) as first:
+            bad.result()
+        with pytest.raises(Exception) as second:
+            bad.result()  # re-raises the same captured error every time
+        assert first.value is second.value
+
+    def test_base_exception_mid_flush_fails_stragglers(self, dataset):
+        """A KeyboardInterrupt-style teardown strands no ticket."""
+
+        class Teardown(BaseException):
+            pass
+
+        data, _ = dataset
+        service = ScoringService()
+        pipeline = _fitted_pipeline(data)
+
+        def exploding_score(mfd):
+            raise Teardown("worker torn down")
+
+        pipeline.score_samples = exploding_score
+        service.register("main", pipeline)
+        tickets = [service.submit("main", data[np.arange(3)]) for _ in range(3)]
+        with pytest.raises(Teardown):
+            service.flush()
+        for ticket in tickets:
+            assert ticket.done and ticket.failed
+            with pytest.raises(RuntimeError, match="flush aborted mid-run"):
+                ticket.result()
+        # The finally-block bookkeeping still ran exactly once.
+        stats = service.stats()
+        assert stats["pending_requests"] == 0
+        assert stats["pending_curves"] == 0
+        assert stats["inflight_curves"] == 0
+        assert stats["flushes"] == 1
+        assert stats["failed_requests"] == 3
+
+    def test_wrong_score_shape_fails_only_that_group(self, dataset):
+        data, _ = dataset
+        service = ScoringService()
+        good_pipeline = _fitted_pipeline(data)
+        bad_pipeline = _fitted_pipeline(data)
+        bad_pipeline.score_samples = lambda mfd: np.zeros(mfd.n_samples + 1)
+        service.register("good", good_pipeline)
+        service.register("bad", bad_pipeline)
+        good = service.submit("good", data[np.arange(4)])
+        bad = service.submit("bad", data[np.arange(4)])
+        assert service.flush() == 2
+        np.testing.assert_allclose(
+            good.result(), good_pipeline.score_samples(data[np.arange(4)]), atol=1e-12
+        )
+        with pytest.raises(ValidationError, match="returned scores of shape"):
+            bad.result()
+
+    def test_ticket_resolves_exactly_once(self):
+        from repro.serving import ScoreTicket
+
+        ticket = ScoreTicket("main", 2)
+        ticket._resolve(np.zeros(2))
+        with pytest.raises(RuntimeError, match="already resolved"):
+            ticket._resolve(np.zeros(2))
+        with pytest.raises(RuntimeError, match="already resolved"):
+            ticket._fail(ValueError("late"))
+        np.testing.assert_array_equal(ticket.result(), np.zeros(2))
+
+    def test_stats_no_drift_across_interleaved_traffic(self, dataset):
+        """flushes/pending/served/failed stay consistent through a messy mix."""
+        data, _ = dataset
+        service = ScoringService(max_pending=1_000_000)
+        service.register("main", _fitted_pipeline(data))
+
+        def assert_invariants():
+            stats = service.stats()
+            assert stats["pending_requests"] >= 0
+            assert stats["pending_curves"] >= 0
+            assert stats["inflight_curves"] == 0  # single-threaded here
+            return stats
+
+        submitted = 0
+        service.flush()  # empty: must not count as a flush
+        assert assert_invariants()["flushes"] == 0
+
+        for round_no in range(3):
+            service.submit("main", data[np.arange(3)])
+            service.submit("main", MFDataGrid(data.values[:2, :, :1], data.grid))
+            submitted += 2
+            assert assert_invariants()["pending_requests"] == 2
+            service.flush()
+            stats = assert_invariants()
+            assert stats["flushes"] == round_no + 1
+            assert stats["pending_requests"] == 0
+            assert stats["served_requests"] + stats["failed_requests"] == submitted
+        # Direct scoring and empty flushes do not disturb request accounting.
+        service.score("main", data[np.arange(2)])
+        service.flush()
+        stats = assert_invariants()
+        assert stats["flushes"] == 3
+        assert stats["served_requests"] + stats["failed_requests"] == submitted + 1
+
+    def test_threaded_submits_resolve_exactly_once(self, dataset):
+        """Every ticket resolves under racing auto-flushes (satellite 5)."""
+        import threading
+
+        data, _ = dataset
+        service = ScoringService(max_pending=12)
+        service.register("main", _fitted_pipeline(data))
+
+        per_thread, n_threads, batch = 15, 6, 3
+        tickets: list = []
+        tickets_lock = threading.Lock()
+        start = threading.Barrier(n_threads + 1)
+
+        def submitter():
+            start.wait()
+            for _ in range(per_thread):
+                ticket = service.submit("main", data[np.arange(batch)])
+                with tickets_lock:
+                    tickets.append(ticket)
+
+        def flusher():
+            start.wait()
+            for _ in range(10):
+                service.flush()
+
+        threads = [threading.Thread(target=submitter) for _ in range(n_threads)]
+        threads.append(threading.Thread(target=flusher))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        service.flush()  # drain whatever the races left behind
+
+        assert len(tickets) == per_thread * n_threads
+        expected = service.score("main", data[np.arange(batch)])
+        for ticket in tickets:
+            assert ticket.done and not ticket.failed
+            np.testing.assert_allclose(ticket.result(), expected, atol=1e-12)
+        stats = service.stats()
+        assert stats["pending_requests"] == 0
+        assert stats["inflight_curves"] == 0
+        assert stats["served_requests"] == len(tickets) + 1  # + direct score
+        assert stats["failed_requests"] == 0
+        assert stats["served_curves"] == (len(tickets) + 1) * batch
+
+
+class TestMmapPersistence:
+    def test_uncompressed_mmap_roundtrip_identical(self, dataset, tmp_path):
+        data, _ = dataset
+        pipeline = _fitted_pipeline(data)
+        save_pipeline(pipeline, tmp_path / "model", compressed=False)
+        loaded = load_pipeline(tmp_path / "model", mmap=True)
+        np.testing.assert_array_equal(
+            loaded.score_samples(data), pipeline.score_samples(data)
+        )
+
+    def test_uncompressed_bundle_actually_memory_maps(self, dataset, tmp_path):
+        from repro.serving.persist import _read_arrays
+
+        data, _ = dataset
+        save_pipeline(_fitted_pipeline(data), tmp_path / "model", compressed=False)
+        arrays = _read_arrays(tmp_path / "model", mmap=True)
+        mapped = [k for k, v in arrays.items() if isinstance(v, np.memmap)]
+        assert mapped, "no array member was memory-mapped from the stored bundle"
+
+    def test_compressed_bundle_mmap_falls_back_to_eager(self, dataset, tmp_path):
+        data, _ = dataset
+        pipeline = _fitted_pipeline(data)
+        save_pipeline(pipeline, tmp_path / "model")  # compressed (deflated members)
+        loaded = load_pipeline(tmp_path / "model", mmap=True)
+        np.testing.assert_array_equal(
+            loaded.score_samples(data), pipeline.score_samples(data)
+        )
+
+    def test_state_type_corruption_raises_persistence_error(self, dataset, tmp_path):
+        """A malformed manifest must never leak a raw TypeError/ValueError."""
+        data, _ = dataset
+        save_pipeline(_fitted_pipeline(data), tmp_path / "model")
+        manifest_path = tmp_path / "model" / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["state"]["eval_grid"] = "hello"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(PersistenceError, match="cannot restore pipeline"):
+            load_pipeline(tmp_path / "model")
