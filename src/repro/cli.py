@@ -328,6 +328,7 @@ def run_stream_score(args) -> None:
         drift_recent=args.drift_recent,
         alpha=args.alpha,
         seed=args.seed,
+        shards=args.shards,
     )
     plan = compile_plan(spec, WorkloadSpec(mode="stream", chunk_size=args.chunk_size))
     detector = plan.detector
@@ -369,7 +370,8 @@ def run_stream_score(args) -> None:
         "stream-score",
         ["quantity", "value"],
         [
-            ["kind / policy", f"{args.kind} / {args.policy}"],
+            ["kind / policy", f"{args.kind} / {args.policy}"
+             + (f" / {args.shards} shards" if args.shards > 1 else "")],
             ["curves seen", str(stats["n_seen"])],
             ["curves scored", str(stats["n_scored"])],
             ["flagged outliers", str(stats["n_flagged"])],
@@ -395,6 +397,7 @@ def run_bench_stream(args) -> None:
         seed=args.seed,
         repeats=args.repeats,
         quick=args.quick,
+        shards=args.shards,
     )
     headers, rows = format_streaming_rows(record)
     _print_table(
@@ -513,6 +516,9 @@ def build_parser() -> argparse.ArgumentParser:
     stream_bench.add_argument("--seed", type=int, default=7, help="workload random seed")
     stream_bench.add_argument("--repeats", type=int, default=2,
                               help="timing repetitions (best-of)")
+    stream_bench.add_argument("--shards", type=int, default=1,
+                              help="also time the sharded streaming tier with "
+                                   "this many shards (records shard_speedup)")
     stream_bench.add_argument("--quick", action="store_true",
                               help="mark the record as a quick-mode datapoint")
     stream_bench.add_argument("--output", default="BENCH_streaming.json",
@@ -539,14 +545,18 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--contamination", type=float, default=0.05,
                         help="expected outlier fraction (threshold quantile)")
     stream.add_argument("--threshold-mode", default="window",
-                        choices=("window", "p2"),
-                        help="exact ring-buffer quantile or O(1)-memory P2")
+                        choices=("window", "p2", "sketch"),
+                        help="exact ring-buffer quantile, O(1)-memory P2, or "
+                             "mergeable quantile sketch (shardable)")
     stream.add_argument("--drift-baseline", type=int, default=128,
                         help="baseline scores for the KS drift monitor")
     stream.add_argument("--drift-recent", type=int, default=64,
                         help="rolling recent scores compared against the baseline")
     stream.add_argument("--alpha", type=float, default=0.01,
                         help="KS test level for drift checks")
+    stream.add_argument("--shards", type=int, default=1,
+                        help="partition the stream across N shard states "
+                             "(mergeable windows, federated threshold/drift)")
     stream.add_argument("--seed", type=int, default=7,
                         help="reservoir eviction seed")
     stream.add_argument("--output", default=None,

@@ -273,16 +273,16 @@ def _rank_counts_tied(
 
 
 # --------------------------------------------------------------------------- FUNTA
-def _funta_block(
+def _funta_cross_stats(
     block,
     values: np.ndarray,
     ref_values: np.ndarray,
     theta_pts: np.ndarray,
     theta_ref: np.ndarray,
-    trim: float,
     same: bool,
-) -> np.ndarray:
-    """FUNTA depth of one contiguous row block of ``values``."""
+):
+    """Crossing counts, pair validity and gathered crossing angles for one
+    contiguous row block — the shared core of every FUNTA path."""
     start, stop = block
     b = stop - start
     n_ref = ref_values.shape[0]
@@ -310,21 +310,59 @@ def _funta_block(
     ib, jb, tb = np.nonzero(cross)
     angles = np.abs(theta_pts[start + ib, tb] - theta_ref[jb, tb])
     np.minimum(angles, np.pi - angles, out=angles)
+    return b, n_ref, counts, valid, ib, jb, angles
 
+
+def _funta_pair_totals(
+    block,
+    values: np.ndarray,
+    ref_values: np.ndarray,
+    theta_pts: np.ndarray,
+    theta_ref: np.ndarray,
+    same: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-query effective crossing counts and angle sums over the
+    reference (the ``trim == 0`` accumulators, before the depth formula).
+
+    The totals are plain sums over reference curves, so totals computed
+    against disjoint reference shards combine by addition — the property
+    the sharded streaming scorer exploits.
+    """
+    b, n_ref, counts, valid, ib, jb, angles = _funta_cross_stats(
+        block, values, ref_values, theta_pts, theta_ref, same
+    )
+    sums = np.bincount(
+        ib * n_ref + jb, weights=angles, minlength=b * n_ref
+    ).reshape(b, n_ref)
+    # A never-crossing pair contributes one maximal angle (pi/2).
+    eff_counts = np.where(valid, np.where(counts > 0, counts, 1), 0)
+    eff_sums = np.where(valid, np.where(counts > 0, sums, _HALF_PI), 0.0)
+    return eff_counts.sum(axis=1), eff_sums.sum(axis=1)
+
+
+def _funta_block(
+    block,
+    values: np.ndarray,
+    ref_values: np.ndarray,
+    theta_pts: np.ndarray,
+    theta_ref: np.ndarray,
+    trim: float,
+    same: bool,
+) -> np.ndarray:
+    """FUNTA depth of one contiguous row block of ``values``."""
     if trim == 0.0:
-        sums = np.bincount(
-            ib * n_ref + jb, weights=angles, minlength=b * n_ref
-        ).reshape(b, n_ref)
-        # A never-crossing pair contributes one maximal angle (pi/2).
-        eff_counts = np.where(valid, np.where(counts > 0, counts, 1), 0)
-        eff_sums = np.where(valid, np.where(counts > 0, sums, _HALF_PI), 0.0)
-        total_counts = eff_counts.sum(axis=1)
-        total_sums = eff_sums.sum(axis=1)
+        total_counts, total_sums = _funta_pair_totals(
+            block, values, ref_values, theta_pts, theta_ref, same
+        )
         safe = np.maximum(total_counts, 1)
         depth = np.where(
             total_counts > 0, 1.0 - (total_sums / safe) / _HALF_PI, 1.0
         )
         return np.clip(depth, 0.0, 1.0)
+
+    b, n_ref, counts, valid, ib, jb, angles = _funta_cross_stats(
+        block, values, ref_values, theta_pts, theta_ref, same
+    )
 
     # Robustified variant: the trimming quantile needs each sample's full
     # angle multiset, so walk the gathered angles per row (an O(n) loop
@@ -403,6 +441,52 @@ def funta_univariate(
         "theta_ref": theta_ref,
     }
     return np.concatenate(_run_blocks(worker, blocks, context, arrays))
+
+
+def funta_partials(
+    values: np.ndarray,
+    ref_values: np.ndarray,
+    grid: np.ndarray,
+    theta_pts: np.ndarray | None = None,
+    theta_ref: np.ndarray | None = None,
+    block_bytes: int | None = None,
+    dtype=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Additive FUNTA accumulators of ``values`` against one reference shard.
+
+    Returns ``(counts, sums)`` of shape ``(n,)``: the effective crossing
+    counts and intersection-angle sums of every query curve against this
+    reference block (``trim == 0`` semantics, including the pi/2
+    contribution of never-crossing pairs).  Because both are plain sums
+    over reference curves, partials from disjoint reference shards
+    combine by addition; applying the depth formula to the combined
+    totals reproduces the single-reference :func:`funta_univariate`
+    depth up to floating-point summation order.
+    """
+    block_bytes = resolve_block_bytes(block_bytes)
+    compute_dtype = resolve_dtype(dtype)
+    values, ref_values = _as_dtype_pair(values, ref_values, compute_dtype)
+    n, m = values.shape
+    dt = np.diff(np.asarray(grid, dtype=compute_dtype))
+    if theta_pts is None:
+        theta_pts = np.arctan(np.diff(values, axis=1) / dt)
+    else:
+        theta_pts = np.asarray(theta_pts, dtype=compute_dtype)
+    if theta_ref is None:
+        theta_ref = np.arctan(np.diff(ref_values, axis=1) / dt)
+    else:
+        theta_ref = np.asarray(theta_ref, dtype=compute_dtype)
+    bytes_per_row = max(ref_values.shape[0], 1) * m * (compute_dtype.itemsize + 4) * 1.3
+    blocks = row_blocks(n, bytes_per_row, block_bytes)
+    counts = np.empty(n, dtype=np.int64)
+    sums = np.empty(n)
+    for block in blocks:
+        c, s = _funta_pair_totals(
+            block, values, ref_values, theta_pts, theta_ref, same=False
+        )
+        counts[block[0] : block[1]] = c
+        sums[block[0] : block[1]] = s
+    return counts, sums
 
 
 # --------------------------------------------------------------------------- SDO

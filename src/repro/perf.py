@@ -421,8 +421,17 @@ def append_bench_record(path, record: dict) -> list:
 # --------------------------------------------------------------------------- streaming
 STREAM_BENCH_FILENAME = "BENCH_streaming.json"
 
+#: Streaming-record schema: v3 added the sharded tier (``shards`` on every
+#: result row, ``shard_speedup`` + chunked-baseline timings on sharded rows).
+#: ``format_streaming_rows`` still renders v1/v2 records (no shard fields).
+STREAM_SCHEMA_VERSION = 3
+
 #: Streaming cases whose incremental-vs-refit speedup the CI gate asserts.
 GATED_STREAM_CASES = ("funta_p1", "funta_p2", "dirout_p1", "halfspace_p1")
+
+#: Sharded cases whose sharded-vs-single-stream throughput the CI gate
+#: asserts (``shard_speedup > 1`` whenever >= 2 cores are available).
+GATED_SHARD_CASES = ("funta_p1_sharded", "dirout_p1_sharded", "halfspace_p1_sharded")
 
 
 def run_streaming_bench(
@@ -433,6 +442,8 @@ def run_streaming_bench(
     repeats: int = 2,
     quick: bool = True,
     block_bytes: int | None = None,
+    shards: int = 1,
+    chunk: int = 16,
 ) -> dict:
     """Time per-arrival incremental scoring vs naive refit-from-scratch.
 
@@ -447,11 +458,23 @@ def run_streaming_bench(
     entry points.  Both paths share the window machinery and produce
     identical scores (asserted here before timing, so a wrong cache can
     never post a fast number); the record schema mirrors
-    ``BENCH_depth_kernels.json`` (``schema_version`` 1, git sha,
-    per-case rows).
+    ``BENCH_depth_kernels.json`` (git sha, per-case rows).
+
+    With ``shards > 1`` the sharded tier is timed as well: the same
+    chunked arrival stream is pushed once through a single-stream
+    incremental detector and once through a
+    :class:`~repro.streaming.ShardedStreamingDetector` (thread backend)
+    at the same chunk size, with score equivalence asserted (rtol
+    ``1e-12``; exact for dirout/halfspace) before either side is timed.
+    Sharded rows carry ``shards``/``shard_speedup`` fields
+    (``schema_version`` 3).
     """
     from repro.fda.fdata import MFDataGrid
-    from repro.streaming import SlidingWindow, StreamingDetector
+    from repro.streaming import (
+        ShardedStreamingDetector,
+        SlidingWindow,
+        StreamingDetector,
+    )
 
     rng = np.random.default_rng(seed)
     grid = np.linspace(0.0, 1.0, m)
@@ -495,6 +518,7 @@ def run_streaming_bench(
                 "p": p,
                 "kind": kind,
                 "gated": label in GATED_STREAM_CASES,
+                "shards": 1,
                 "naive_s": round(naive_s, 6),
                 "incremental_s": round(incremental_s, 6),
                 "curves_per_s": round(arrivals / max(incremental_s, 1e-12), 1),
@@ -502,8 +526,82 @@ def run_streaming_bench(
             }
         )
 
+    if shards > 1:
+        if window % shards:
+            raise ValueError(
+                f"window={window} must divide evenly across shards={shards}"
+            )
+        n_chunks = max(1, arrivals // chunk)
+        shard_cases = [
+            ("funta_p1_sharded", 1, "funta"),
+            ("dirout_p1_sharded", 1, "dirout"),
+            ("halfspace_p1_sharded", 1, "halfspace"),
+        ]
+        for label, p, kind in shard_cases:
+            prime_values = rng.standard_normal((window, m, p)).cumsum(axis=1) / 5.0
+            stream_values = (
+                rng.standard_normal((n_chunks * chunk, m, p)).cumsum(axis=1) / 5.0
+            )
+            prime_mfd = MFDataGrid(prime_values, grid)
+            chunks = [
+                MFDataGrid(stream_values[i * chunk : (i + 1) * chunk], grid)
+                for i in range(n_chunks)
+            ]
+
+            def run_single() -> np.ndarray:
+                detector = StreamingDetector(
+                    kind,
+                    SlidingWindow(window),
+                    min_reference=2,
+                    incremental=True,
+                    block_bytes=block_bytes,
+                )
+                detector.prime(prime_mfd)
+                collected = [detector.process(c).scores for c in chunks]
+                return np.concatenate(collected)
+
+            def run_sharded() -> np.ndarray:
+                detector = ShardedStreamingDetector(
+                    kind,
+                    shards=shards,
+                    capacity=window,
+                    min_reference=2,
+                    backend="thread",
+                    block_bytes=block_bytes,
+                )
+                try:
+                    detector.prime(prime_mfd)
+                    collected = [detector.process(c).scores for c in chunks]
+                    return np.concatenate(collected)
+                finally:
+                    detector.close()
+
+            single_scores = run_single()
+            sharded_scores = run_sharded()
+            np.testing.assert_allclose(
+                sharded_scores, single_scores, rtol=1e-12, atol=0.0
+            )
+            single_s = _best_time(run_single, repeats)
+            sharded_s = _best_time(run_sharded, repeats)
+            total = n_chunks * chunk
+            results.append(
+                {
+                    "case": label,
+                    "p": p,
+                    "kind": kind,
+                    "gated": label in GATED_SHARD_CASES,
+                    "shards": shards,
+                    "arrivals": total,
+                    "naive_s": round(single_s, 6),
+                    "incremental_s": round(sharded_s, 6),
+                    "curves_per_s": round(total / max(sharded_s, 1e-12), 1),
+                    "speedup": round(single_s / max(sharded_s, 1e-12), 2),
+                    "shard_speedup": round(single_s / max(sharded_s, 1e-12), 2),
+                }
+            )
+
     return {
-        "schema_version": SCHEMA_VERSION,
+        "schema_version": STREAM_SCHEMA_VERSION,
         "bench": "streaming",
         "git_sha": git_sha(),
         "dirty": git_dirty(),
@@ -512,31 +610,50 @@ def run_streaming_bench(
         "workload": {
             "window": window, "m": m, "arrivals": arrivals, "seed": seed,
             "repeats": repeats, "gated_cases": list(GATED_STREAM_CASES),
+            "shards": shards, "chunk": chunk,
+            "gated_shard_cases": list(GATED_SHARD_CASES) if shards > 1 else [],
         },
         "results": results,
     }
 
 
 def format_streaming_rows(record: dict) -> tuple[list[str], list[list[str]]]:
-    """Table headers + rows for a streaming bench record."""
+    """Table headers + rows for a streaming bench record.
+
+    Renders every streaming schema version: v1/v2 rows predate the
+    sharded tier and carry no ``shards``/``shard_speedup`` fields, so
+    those columns fall back to ``1``/``-`` (mirroring the v1/v2
+    tolerance of ``format_bench_rows`` for ``BENCH_depth_kernels``).
+    On sharded rows (v3) the baseline column is the *single-stream*
+    chunked detector rather than a refit-from-scratch one, and
+    ``speedup`` is the shard speedup.
+    """
+    version = int(record.get("schema_version", 1))
+    sharded_record = version >= 3 and any(
+        r.get("shards", 1) > 1 for r in record["results"]
+    )
     headers = [
         "case", "p", "gated", "refit ms/curve", "incremental ms/curve",
         "curves/s", "speedup",
     ]
-    arrivals = record["workload"]["arrivals"]
+    if sharded_record:
+        headers = headers + ["shards"]
+    default_arrivals = record["workload"]["arrivals"]
     rows = []
     for r in record["results"]:
-        rows.append(
-            [
-                r["case"],
-                str(r["p"]),
-                "yes" if r["gated"] else "no",
-                f"{r['naive_s'] / arrivals * 1e3:,.2f}",
-                f"{r['incremental_s'] / arrivals * 1e3:,.2f}",
-                f"{r['curves_per_s']:,.0f}",
-                f"{r['speedup']:.1f}x",
-            ]
-        )
+        arrivals = r.get("arrivals", default_arrivals)
+        row = [
+            r["case"],
+            str(r["p"]),
+            "yes" if r["gated"] else "no",
+            f"{r['naive_s'] / arrivals * 1e3:,.2f}",
+            f"{r['incremental_s'] / arrivals * 1e3:,.2f}",
+            f"{r['curves_per_s']:,.0f}",
+            f"{r['speedup']:.1f}x",
+        ]
+        if sharded_record:
+            row.append(str(r.get("shards", 1)))
+        rows.append(row)
     return headers, rows
 
 

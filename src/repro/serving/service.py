@@ -46,6 +46,7 @@ from repro.fda.fdata import MFDataGrid, as_mfd
 from repro.plan.executor import iter_curve_chunks, run_chunked
 from repro.serving.persist import load_pipeline
 from repro.streaming.online import StreamBatchResult, StreamingDetector
+from repro.streaming.sharded import ShardedStreamingDetector
 from repro.utils.validation import check_int
 
 __all__ = [
@@ -302,7 +303,7 @@ class ScoringService:
         """
         if not isinstance(name, str) or not name:
             raise ValidationError(f"pipeline name must be a non-empty string, got {name!r}")
-        if isinstance(pipeline, (DepthScorer, StreamingDetector)):
+        if isinstance(pipeline, (DepthScorer, StreamingDetector, ShardedStreamingDetector)):
             if pipeline.context is None:
                 pipeline.context = self.context
             self._pipelines[name] = pipeline
@@ -359,9 +360,9 @@ class ScoringService:
         """
         mfd = as_mfd(data)
         pipeline = self._pipeline(name)  # fail fast on unknown names
-        if isinstance(pipeline, StreamingDetector):
+        if isinstance(pipeline, (StreamingDetector, ShardedStreamingDetector)):
             raise ValidationError(
-                f"pipeline {name!r} is a StreamingDetector; its scoring is "
+                f"pipeline {name!r} is a streaming detector; its scoring is "
                 "stateful (window updates are order-dependent), so it cannot "
                 "join the micro-batching queue — use stream() or score()"
             )
@@ -469,10 +470,10 @@ class ScoringService:
         chunks come back with ``scores=None``).
         """
         detector = self._pipeline(name)
-        if not isinstance(detector, StreamingDetector):
+        if not isinstance(detector, (StreamingDetector, ShardedStreamingDetector)):
             raise ValidationError(
-                f"pipeline {name!r} is not a StreamingDetector; "
-                "use score_stream() for fixed-reference chunked scoring"
+                f"pipeline {name!r} is not a StreamingDetector (or sharded "
+                "variant); use score_stream() for fixed-reference chunked scoring"
             )
         return run_chunked(
             detector.process, data, chunk_size=chunk_size, observe=self._count_traffic
@@ -489,7 +490,7 @@ class ScoringService:
         on the plan executor's single chunked path.
         """
         pipeline = self._pipeline(name)
-        if isinstance(pipeline, StreamingDetector):
+        if isinstance(pipeline, (StreamingDetector, ShardedStreamingDetector)):
             def online_scores(chunk) -> np.ndarray:
                 result = pipeline.process(chunk)
                 if result.scores is None:

@@ -6,7 +6,7 @@ scores *unbounded* curve streams whose reference population evolves:
 
 * :mod:`repro.streaming.window` — sliding-window and reservoir-sampling
   reference maintainers over one preallocated ring buffer, with seeded
-  reproducible eviction;
+  reproducible eviction and ``merged()``/``split()`` shard operations;
 * :mod:`repro.streaming.online` — :class:`StreamingDetector`, scoring
   each arrival against the current window through the vectorized depth
   kernels (FUNTA, Dir.out, halfspace profiles) or the fitted-pipeline
@@ -14,24 +14,46 @@ scores *unbounded* curve streams whose reference population evolves:
   insert/evict instead of refit from scratch;
 * :mod:`repro.streaming.calibrate` — streaming quantile thresholds
   (exact ring-buffer window, shared with the batch
-  :func:`~repro.detectors.threshold.threshold_from_quantile`, plus the
-  O(1)-memory P² approximation);
+  :func:`~repro.detectors.threshold.threshold_from_quantile`, the
+  O(1)-memory P² approximation, and the mergeable
+  :class:`QuantileSketch` behind the federated threshold);
 * :mod:`repro.streaming.drift` — a depth-rank Kolmogorov–Smirnov drift
-  monitor emitting re-reference events.
+  monitor emitting re-reference events, plus its shard-aggregated
+  :class:`FederatedDrift` variant;
+* :mod:`repro.streaming.sharded` — :class:`ShardedStreamingDetector`,
+  partitioning one stream across N shard states (round-robin) and
+  recovering single-stream scores from merged/partial statistics with
+  near-linear throughput scaling.
 
-``repro stream-score`` exposes the subsystem from the CLI, and
+``repro stream-score`` exposes the subsystem from the CLI (``--shards``
+selects the sharded tier), and
 :class:`~repro.serving.service.ScoringService` serves registered
 streaming detectors next to batch pipelines.
 """
 
 from repro.streaming.calibrate import (
+    FederatedThreshold,
     P2Quantile,
     P2QuantileThreshold,
+    QuantileSketch,
+    SketchQuantileThreshold,
     StreamingQuantileThreshold,
     make_threshold,
 )
-from repro.streaming.drift import DepthRankDrift, DriftEvent, ks_two_sample
-from repro.streaming.online import STREAM_KINDS, StreamBatchResult, StreamingDetector
+from repro.streaming.drift import (
+    DepthRankDrift,
+    DriftEvent,
+    FederatedDrift,
+    ks_two_sample,
+)
+from repro.streaming.online import (
+    STREAM_KINDS,
+    SortedLanes,
+    StreamBatchResult,
+    StreamingDetector,
+    merge_moments,
+)
+from repro.streaming.sharded import SHARD_BACKENDS, ShardedStreamingDetector
 from repro.streaming.window import (
     ReferenceWindow,
     ReservoirWindow,
@@ -40,18 +62,26 @@ from repro.streaming.window import (
 )
 
 __all__ = [
+    "SHARD_BACKENDS",
     "STREAM_KINDS",
     "DepthRankDrift",
     "DriftEvent",
+    "FederatedDrift",
+    "FederatedThreshold",
     "P2Quantile",
     "P2QuantileThreshold",
+    "QuantileSketch",
     "ReferenceWindow",
     "ReservoirWindow",
+    "ShardedStreamingDetector",
+    "SketchQuantileThreshold",
     "SlidingWindow",
+    "SortedLanes",
     "StreamBatchResult",
     "StreamingDetector",
     "StreamingQuantileThreshold",
     "WindowUpdate",
     "ks_two_sample",
     "make_threshold",
+    "merge_moments",
 ]

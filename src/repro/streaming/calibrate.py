@@ -19,6 +19,15 @@ Both expose the same ``update(scores) -> float`` / ``value`` /
 ``ready`` / ``reset()`` surface, which is the threshold contract
 :class:`~repro.streaming.online.StreamingDetector` consumes;
 :func:`make_threshold` builds either flavour from a config string.
+
+The sharded streaming tier needs one more property the P² estimator
+cannot offer: *mergeability*.  N shards each track their own substream
+of scores, and the coordinator must read a single global boundary from
+the union.  :class:`QuantileSketch` / :class:`SketchQuantileThreshold`
+provide that (a t-digest-style centroid sketch whose merge is exact
+commutative and whose estimate is exact until compression kicks in),
+and :class:`FederatedThreshold` federates N shard-local trackers —
+ring-buffer windows or sketches — behind the same threshold contract.
 """
 
 from __future__ import annotations
@@ -33,6 +42,9 @@ __all__ = [
     "StreamingQuantileThreshold",
     "P2Quantile",
     "P2QuantileThreshold",
+    "QuantileSketch",
+    "SketchQuantileThreshold",
+    "FederatedThreshold",
     "make_threshold",
 ]
 
@@ -182,6 +194,306 @@ class P2QuantileThreshold:
         )
 
 
+class QuantileSketch:
+    """Mergeable quantile sketch: sorted weighted centroids, t-digest style.
+
+    The state is a *multiset* of ``(mean, weight)`` centroids kept in
+    canonical order (sorted by mean, then weight).  New observations
+    enter as weight-1 singletons; once the centroid count exceeds
+    ``compression``, adjacent centroids are folded into ``compression``
+    equal-weight buckets.  Consequences:
+
+    * **Exact until compressed** — while ``n_seen <= compression`` every
+      centroid is a singleton and :meth:`quantile` returns
+      ``np.quantile`` of the observations, bit for bit.
+    * **Commutative merge, exactly** — :meth:`merge` concatenates the
+      two centroid multisets and re-canonicalizes, so
+      ``a.merge(b)`` and ``b.merge(a)`` hold identical state.
+    * **Associative within tolerance** — exact while no compression
+      triggers; once it does, differently-parenthesized merges agree to
+      the bucket resolution (pinned by the property suite).
+
+    Unlike the ring tracker this summarizes the *whole* stream in
+    O(``compression``) memory — the mergeable counterpart of the P²
+    estimator, which cannot be merged at all.
+    """
+
+    def __init__(self, compression: int = 256):
+        self.compression = check_int(compression, "compression", minimum=8)
+        self._means = np.empty(0)
+        self._weights = np.empty(0)
+        self.n_seen = 0
+
+    # ------------------------------------------------------------------ state
+    def _canonicalize(self, means: np.ndarray, weights: np.ndarray) -> None:
+        order = np.lexsort((weights, means))
+        means, weights = means[order], weights[order]
+        if means.size > self.compression:
+            total = weights.sum()
+            cum = np.cumsum(weights)
+            # Bucket by the centroid's cumulative-weight midpoint.
+            mid = cum - weights / 2.0
+            bucket = np.minimum(
+                (mid / total * self.compression).astype(np.int64),
+                self.compression - 1,
+            )
+            folded_w = np.bincount(bucket, weights=weights,
+                                   minlength=self.compression)
+            folded_m = np.bincount(bucket, weights=weights * means,
+                                   minlength=self.compression)
+            keep = folded_w > 0
+            means = folded_m[keep] / folded_w[keep]
+            weights = folded_w[keep]
+        self._means, self._weights = means, weights
+
+    def update(self, values) -> None:
+        """Fold observations in (weight-1 centroids, then re-canonicalize)."""
+        values = np.atleast_1d(as_float_array(values, "values")).ravel()
+        if values.size == 0:
+            return
+        self.n_seen += values.size
+        self._canonicalize(
+            np.concatenate([self._means, values]),
+            np.concatenate([self._weights, np.ones(values.size)]),
+        )
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Combined sketch over both streams (inputs untouched)."""
+        if not isinstance(other, QuantileSketch):
+            raise ValidationError(
+                f"can only merge QuantileSketch, got {type(other).__name__}"
+            )
+        merged = QuantileSketch(max(self.compression, other.compression))
+        merged.n_seen = self.n_seen + other.n_seen
+        merged._canonicalize(
+            np.concatenate([self._means, other._means]),
+            np.concatenate([self._weights, other._weights]),
+        )
+        return merged
+
+    @classmethod
+    def merged(cls, sketches) -> "QuantileSketch":
+        """Fold any number of sketches into one (left fold of :meth:`merge`)."""
+        sketches = list(sketches)
+        if not sketches:
+            raise ValidationError("merged() needs at least one sketch")
+        result = sketches[0]
+        for sketch in sketches[1:]:
+            result = result.merge(sketch)
+        return result
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def ready(self) -> bool:
+        return self.n_seen >= 1
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (exact while uncompressed)."""
+        q = check_in_range(q, 0.0, 1.0, "q", inclusive=(True, True))
+        if self.n_seen == 0:
+            raise ValidationError("QuantileSketch has seen no observations")
+        if self._means.size == self.n_seen:
+            # All singletons: defer to np.quantile for bit-exactness with
+            # the batch path (its >= 0.5 lerp branch differs from interp).
+            return float(np.quantile(self._means, q))
+        cum = np.cumsum(self._weights)
+        centers = cum - (self._weights + 1.0) / 2.0
+        pos = q * (cum[-1] - 1.0)
+        return float(np.interp(pos, centers, self._means))
+
+    def reset(self) -> None:
+        self._means = np.empty(0)
+        self._weights = np.empty(0)
+        self.n_seen = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuantileSketch(compression={self.compression}, "
+            f"centroids={self._means.size}, n_seen={self.n_seen})"
+        )
+
+
+class SketchQuantileThreshold:
+    """Mergeable streaming threshold over a :class:`QuantileSketch`.
+
+    Same surface as :class:`StreamingQuantileThreshold` /
+    :class:`P2QuantileThreshold`, plus :meth:`merge` — shard trackers
+    combine into one tracker whose value reflects the union stream.
+    """
+
+    def __init__(self, contamination: float, compression: int = 256):
+        self.contamination = check_in_range(
+            contamination, 0.0, 0.5, "contamination", inclusive=(False, False)
+        )
+        self.sketch = QuantileSketch(compression)
+
+    @property
+    def ready(self) -> bool:
+        return self.sketch.n_seen >= 2
+
+    @property
+    def n_seen(self) -> int:
+        return self.sketch.n_seen
+
+    @property
+    def value(self) -> float:
+        if not self.ready:
+            raise ValidationError(
+                "need at least 2 scores before a quantile threshold exists"
+            )
+        return self.sketch.quantile(1.0 - self.contamination)
+
+    def update(self, scores) -> float | None:
+        self.sketch.update(scores)
+        return self.value if self.ready else None
+
+    def merge(self, other: "SketchQuantileThreshold") -> "SketchQuantileThreshold":
+        if not isinstance(other, SketchQuantileThreshold):
+            raise ValidationError(
+                f"can only merge SketchQuantileThreshold, got {type(other).__name__}"
+            )
+        merged = SketchQuantileThreshold(
+            self.contamination, compression=self.sketch.compression
+        )
+        merged.sketch = self.sketch.merge(other.sketch)
+        return merged
+
+    @classmethod
+    def merged(cls, trackers) -> "SketchQuantileThreshold":
+        trackers = list(trackers)
+        if not trackers:
+            raise ValidationError("merged() needs at least one tracker")
+        result = trackers[0]
+        for tracker in trackers[1:]:
+            result = result.merge(tracker)
+        return result
+
+    def learned(self) -> LearnedThreshold:
+        return LearnedThreshold(
+            value=self.value, criterion="quantile-sketch", objective=self.contamination
+        )
+
+    def reset(self) -> None:
+        self.sketch.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SketchQuantileThreshold(contamination={self.contamination}, "
+            f"n_seen={self.n_seen})"
+        )
+
+
+class FederatedThreshold:
+    """One decision boundary over N shard-local score trackers.
+
+    Each shard's round-robin score substream feeds its own tracker;
+    :attr:`value` reads the boundary of the *union*:
+
+    * ``mode="window"`` — per-shard ring trackers of capacity
+      ``capacity / n_shards``.  Because round-robin dispatch makes the
+      union of the shard windows exactly the trailing global score
+      window, ``np.quantile`` over the concatenated window multisets
+      equals the single-stream tracker bit for bit.
+    * ``mode="sketch"`` — per-shard :class:`SketchQuantileThreshold`;
+      the value is the merged sketch's quantile (exact until any shard
+      compresses, rank-accurate after).
+
+    ``update`` takes one score array per shard (empty arrays allowed —
+    a shard that received no arrivals this chunk).  The P² estimator is
+    rejected: its marker state cannot be merged.
+    """
+
+    def __init__(
+        self,
+        contamination: float,
+        n_shards: int,
+        mode: str = "window",
+        capacity: int = 1024,
+        compression: int = 256,
+    ):
+        self.contamination = check_in_range(
+            contamination, 0.0, 0.5, "contamination", inclusive=(False, False)
+        )
+        self.n_shards = check_int(n_shards, "n_shards", minimum=1)
+        self.mode = mode
+        if mode == "window":
+            capacity = check_int(capacity, "capacity", minimum=2 * self.n_shards)
+            if capacity % self.n_shards:
+                raise ValidationError(
+                    f"federated window capacity {capacity} must divide evenly "
+                    f"across {self.n_shards} shards"
+                )
+            self.trackers = [
+                StreamingQuantileThreshold(
+                    contamination, capacity=capacity // self.n_shards
+                )
+                for _ in range(self.n_shards)
+            ]
+        elif mode == "sketch":
+            self.trackers = [
+                SketchQuantileThreshold(contamination, compression=compression)
+                for _ in range(self.n_shards)
+            ]
+        else:
+            raise ValidationError(
+                f"federated threshold mode must be 'window' or 'sketch' "
+                f"(P2 markers cannot merge), got {mode!r}"
+            )
+
+    @property
+    def ready(self) -> bool:
+        if self.mode == "window":
+            return sum(t.size for t in self.trackers) >= 2
+        return sum(t.n_seen for t in self.trackers) >= 2
+
+    @property
+    def n_seen(self) -> int:
+        return sum(t.n_seen for t in self.trackers)
+
+    @property
+    def value(self) -> float:
+        if not self.ready:
+            raise ValidationError(
+                "need at least 2 scores before a quantile threshold exists"
+            )
+        if self.mode == "window":
+            pooled = np.concatenate([t.window_scores() for t in self.trackers])
+            return float(np.quantile(pooled, 1.0 - self.contamination))
+        merged = QuantileSketch.merged([t.sketch for t in self.trackers])
+        return merged.quantile(1.0 - self.contamination)
+
+    def update(self, shard_scores) -> float | None:
+        """Fold one score array per shard in; returns the fresh boundary."""
+        shard_scores = list(shard_scores)
+        if len(shard_scores) != self.n_shards:
+            raise ValidationError(
+                f"expected {self.n_shards} shard score arrays, "
+                f"got {len(shard_scores)}"
+            )
+        for tracker, scores in zip(self.trackers, shard_scores):
+            scores = np.atleast_1d(as_float_array(scores, "scores")).ravel()
+            if scores.size:
+                tracker.update(scores)
+        return self.value if self.ready else None
+
+    def learned(self) -> LearnedThreshold:
+        criterion = "quantile" if self.mode == "window" else "quantile-sketch"
+        return LearnedThreshold(
+            value=self.value, criterion=f"{criterion}-federated",
+            objective=self.contamination,
+        )
+
+    def reset(self) -> None:
+        for tracker in self.trackers:
+            tracker.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FederatedThreshold(mode={self.mode!r}, shards={self.n_shards}, "
+            f"n_seen={self.n_seen})"
+        )
+
+
 def make_threshold(
     contamination: float, mode: str = "window", capacity: int = 1024
 ):
@@ -189,11 +501,17 @@ def make_threshold(
 
     ``mode="window"`` → the exact ring-buffer tracker (memory
     O(``capacity``), trailing-window semantics); ``mode="p2"`` → the
-    O(1)-memory P² approximation over the whole stream.
+    O(1)-memory P² approximation over the whole stream;
+    ``mode="sketch"`` → the mergeable centroid sketch over the whole
+    stream (the flavour the sharded tier can federate).
     """
     if mode == "window":
         return StreamingQuantileThreshold(contamination, capacity=check_int(
             capacity, "capacity", minimum=2))
     if mode == "p2":
         return P2QuantileThreshold(contamination)
-    raise ValidationError(f"unknown threshold mode {mode!r}; use 'window' or 'p2'")
+    if mode == "sketch":
+        return SketchQuantileThreshold(contamination)
+    raise ValidationError(
+        f"unknown threshold mode {mode!r}; use 'window', 'p2' or 'sketch'"
+    )

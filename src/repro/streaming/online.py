@@ -71,7 +71,13 @@ from repro.utils.linalg import (
 )
 from repro.utils.validation import check_int
 
-__all__ = ["STREAM_KINDS", "StreamBatchResult", "StreamingDetector"]
+__all__ = [
+    "STREAM_KINDS",
+    "SortedLanes",
+    "StreamBatchResult",
+    "StreamingDetector",
+    "merge_moments",
+]
 
 STREAM_KINDS = ("funta", "dirout", "halfspace", "pipeline")
 
@@ -167,6 +173,59 @@ class SortedLanes:
             )
         return le, lt
 
+    @classmethod
+    def merged(cls, parts) -> "SortedLanes":
+        """Combine shard lanes into one lane set over the union window.
+
+        Lane content is the ascending multiset of window values per grid
+        point, so the sorted concatenation of shard lanes is *bit-equal*
+        to the lanes a single tracker would have built incrementally
+        over the union — medians and rank counts of the merged lanes
+        therefore match the single-stream cache exactly.
+        """
+        parts = [p for p in parts if p is not None]
+        if not parts:
+            raise ValidationError("merged() needs at least one SortedLanes")
+        n_points = parts[0].lanes.shape[0]
+        if any(p.lanes.shape[0] != n_points for p in parts):
+            raise ValidationError("shard lanes must share one grid length")
+        out = cls(n_points, sum(p.lanes.shape[1] for p in parts))
+        filled = [p.lanes[:, : p.size] for p in parts if p.size]
+        if filled:
+            data = np.sort(np.concatenate(filled, axis=1), axis=1)
+            out.lanes[:, : data.shape[1]] = data
+            out.size = data.shape[1]
+        return out
+
+
+def merge_moments(parts):
+    """Chan-style combine of per-shard ``(count, mean, scatter)`` partials.
+
+    The mergeable form of the Welford insert/evict recurrences kept by
+    the ``pipeline`` scorer state: for two partials A, B with
+    ``δ = μ_B − μ_A``,
+
+    ``μ = μ_A + δ·n_B/n``  and  ``S = S_A + S_B + δδᵀ·n_A·n_B/n``.
+
+    Associative and exact up to floating-point accumulation (same class
+    of error as the incremental recurrences themselves); empty partials
+    (``count == 0``) are identity elements, so empty shards merge away.
+    Returns the combined ``(count, mean, scatter)``.
+    """
+    live = [p for p in parts if p[0] > 0]
+    if not live:
+        return 0, None, None
+    count = live[0][0]
+    mean = np.array(live[0][1], dtype=np.float64, copy=True)
+    scatter = np.array(live[0][2], dtype=np.float64, copy=True)
+    for n_b, mean_b, scatter_b in live[1:]:
+        total = count + n_b
+        delta = np.asarray(mean_b, dtype=np.float64) - mean
+        mean = mean + delta * (n_b / total)
+        scatter = scatter + scatter_b + np.outer(delta, delta) * (count * n_b / total)
+        count = total
+    return count, mean, scatter
+
 
 # =====================================================================
 # per-kind scorer states
@@ -231,6 +290,32 @@ class _FuntaState(_ScorerState):
 
     def reset(self) -> None:
         self._theta = None
+
+    @staticmethod
+    def merged_theta(states, windows) -> np.ndarray | None:
+        """Union of shard tangent-angle rings in merged slot layout.
+
+        ``states[i]``/``windows[i]`` are the scorer state and window of
+        round-robin shard ``i``; the returned ``(size, m-1, p)`` array
+        aligns row-for-row with ``SlidingWindow.merged(windows).values``
+        (item with global index ``g`` at slot ``g mod C``), so scoring
+        against the merged reference reuses the shard-computed angles
+        bit for bit instead of recomputing them.  ``None`` while every
+        ring is still unallocated.
+        """
+        n = len(states)
+        total_size = sum(w.size for w in windows)
+        capacity = sum(w.capacity for w in windows)
+        shaped = next((s._theta for s in states if s._theta is not None), None)
+        if shaped is None or total_size == 0:
+            return None
+        theta = np.empty((total_size, *shaped.shape[1:]))
+        for i, (state, window) in enumerate(zip(states, windows)):
+            cap = window.capacity
+            first_local = window.n_seen - window.size
+            for j in range(first_local, window.n_seen):
+                theta[(j * n + i) % capacity] = state._theta[j % cap]
+        return theta
 
     def score(self, items: np.ndarray, window: ReferenceWindow) -> np.ndarray:
         ref = window.values  # (r, m, p), physical slot order

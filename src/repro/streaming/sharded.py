@@ -1,0 +1,775 @@
+"""Sharded streaming execution: near-linear scaling via mergeable state.
+
+:class:`ShardedStreamingDetector` partitions one arrival stream across
+``N`` shard states by round-robin dispatch (global arrival ``g`` to
+shard ``g mod N``) and recovers *single-stream* scores from the shard
+states — the shard-then-aggregate discipline of mergeable-sketch
+streaming systems, applied to the reference statistics of the depth
+scorers:
+
+* each shard holds a :class:`~repro.streaming.window.SlidingWindow`
+  (or reservoir) of ``capacity / N`` plus the kind's incremental cache
+  (tangent-angle ring, sorted lanes); the union of the shard windows
+  *is* the global trailing window
+  (:meth:`~repro.streaming.window.SlidingWindow.merged`);
+* scoring either sums per-shard *partials* — FUNTA pairwise
+  ``(count, angle-sum)`` totals via
+  :func:`repro.depth._kernels.funta_partials`, halfspace ``(≤, <)``
+  rank counts via :meth:`~repro.streaming.online.SortedLanes.rank_counts`
+  — or scores against the merged window-equivalent state (Dir.out
+  medians, trimmed FUNTA), so sharded scores match the single-stream
+  detector exactly where the merged statistic is exact (halfspace,
+  Dir.out, trimmed FUNTA on sliding windows) and to ~1e-12 where only
+  floating-point summation order differs (untrimmed FUNTA partials);
+* the adaptive threshold is a
+  :class:`~repro.streaming.calibrate.FederatedThreshold` over the
+  round-robin score substreams (window mode: bit-equal to the single
+  tracker) and drift is a
+  :class:`~repro.streaming.drift.FederatedDrift` whose rereference
+  barrier re-anchors every shard on the same window.
+
+Three executor backends fan the per-shard work out: ``serial`` (in
+process, still wins when sharding removes work, e.g. Dir.out lane
+maintenance), ``thread`` (persistent thread pool — the numpy kernels
+release the GIL, so partial scoring scales with cores) and ``process``
+(one persistent worker process per shard holding the shard state
+resident; per chunk only the arrival block crosses the boundary, shipped
+zero-copy through a :class:`~repro.engine.shared.SharedArrayPool`).
+The ``process`` backend requires a partial-scoring configuration
+(untrimmed incremental FUNTA, univariate incremental halfspace) because
+merged-state kinds need the shard windows in the coordinator.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+
+from repro.depth import _kernels
+from repro.engine.shared import SharedArrayPool, attach_arrays, detach_arrays
+from repro.exceptions import NotFittedError, ValidationError
+from repro.fda.fdata import MFDataGrid, as_mfd
+from repro.streaming.calibrate import FederatedThreshold
+from repro.streaming.drift import DriftEvent, FederatedDrift
+from repro.streaming.online import (
+    SortedLanes,
+    StreamBatchResult,
+    StreamingDetector,
+    _DiroutState,
+    _FuntaState,
+    _HalfspaceState,
+)
+from repro.streaming.window import ReferenceWindow, ReservoirWindow, SlidingWindow
+from repro.utils.validation import check_int
+
+__all__ = ["SHARD_BACKENDS", "ShardedStreamingDetector"]
+
+SHARD_BACKENDS = ("serial", "thread", "process")
+
+_SHARD_KINDS = ("funta", "dirout", "halfspace")
+
+
+# =====================================================================
+# one shard: window + incremental cache, operable in-process or remote
+# =====================================================================
+class _Shard:
+    """State and operations of one shard (picklable construction config).
+
+    Wraps a private single-window :class:`StreamingDetector` purely as
+    the holder of the shard's window and incremental scorer cache — its
+    ``process``/threshold/drift machinery is never used; the sharded
+    coordinator owns those.
+    """
+
+    def __init__(self, config: dict):
+        capacity = config["capacity"]
+        if config["window_kind"] == "reservoir":
+            window = ReservoirWindow(capacity, random_state=config["seed"])
+        else:
+            window = SlidingWindow(capacity)
+        self.det = StreamingDetector(
+            config["kind"],
+            window,
+            min_reference=2,
+            incremental=config["incremental"],
+            aggregation=config["aggregation"],
+            block_bytes=config["block_bytes"],
+            **config["options"],
+        )
+        self.det.grid = np.asarray(config["grid"], dtype=np.float64)
+        self.det.n_parameters = config["n_parameters"]
+
+    @property
+    def window(self) -> ReferenceWindow:
+        return self.det.window
+
+    def ingest(self, items: np.ndarray) -> tuple[int, int]:
+        if items.shape[0]:
+            self.det._ingest(items)
+        return self.det.window.n_seen, self.det.window.size
+
+    def reset(self) -> None:
+        self.det.window.reset()
+        if self.det._scorer is not None:
+            self.det._scorer.reset()
+
+    # -------------------------------------------------------------- partials
+    def funta_partials(self, items: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-query ``(count, angle-sum)`` totals vs this shard's window.
+
+        Stacked per parameter: ``(p, n_items)`` int64 counts and float
+        sums — additive across shards, so the coordinator reconstructs
+        the union-reference FUNTA depth from the summed partials.
+        """
+        det = self.det
+        b, _, p = items.shape
+        counts = np.zeros((p, b), dtype=np.int64)
+        sums = np.zeros((p, b))
+        if det.window.size == 0:
+            return counts, sums
+        state = det._ensure_scorer()
+        ref = det.window.values
+        theta_pts = state._angles(items) if state.incremental else None
+        theta_ref = (
+            state._theta[: det.window.size] if state.incremental else None
+        )
+        for k in range(p):
+            counts[k], sums[k] = _kernels.funta_partials(
+                items[:, :, k],
+                ref[:, :, k],
+                det.grid,
+                theta_pts=(
+                    None if theta_pts is None
+                    else np.ascontiguousarray(theta_pts[:, :, k])
+                ),
+                theta_ref=(
+                    None if theta_ref is None
+                    else np.ascontiguousarray(theta_ref[:, :, k])
+                ),
+                block_bytes=det.block_bytes,
+            )
+        return counts, sums
+
+    def halfspace_counts(self, items: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(≤, <)`` rank counts of the queries in this shard's lanes.
+
+        ``(m, n_items)`` int64 each — exact integers, so the summed
+        counts equal the single-window lane counts bit for bit.
+        """
+        det = self.det
+        b, m, _ = items.shape
+        if det.window.size == 0:
+            zero = np.zeros((m, b), dtype=np.int64)
+            return zero, zero.copy()
+        state = det._ensure_scorer()
+        return state._lanes.rank_counts(items[:, :, 0])
+
+
+# =====================================================================
+# executor backends
+# =====================================================================
+class _SerialBackend:
+    """All shards in the coordinator process, visited in order."""
+
+    name = "serial"
+
+    def __init__(self, configs):
+        self.shards = [_Shard(config) for config in configs]
+
+    def run(self, method: str, payloads) -> list:
+        return [
+            getattr(shard, method)(*payload)
+            for shard, payload in zip(self.shards, payloads)
+        ]
+
+    def close(self) -> None:
+        pass
+
+
+class _ThreadBackend(_SerialBackend):
+    """Persistent thread pool, one task per shard per phase.
+
+    The depth kernels are numpy-bound (boolean slabs, bincounts, sorts)
+    and release the GIL, so per-shard partials genuinely overlap.
+    """
+
+    name = "thread"
+
+    def __init__(self, configs):
+        super().__init__(configs)
+        self._pool = ThreadPoolExecutor(max_workers=len(self.shards))
+
+    def run(self, method: str, payloads) -> list:
+        futures = [
+            self._pool.submit(getattr(shard, method), *payload)
+            for shard, payload in zip(self.shards, payloads)
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+_PROCESS_SHARD: _Shard | None = None
+
+
+def _process_shard_init(config: dict) -> None:
+    global _PROCESS_SHARD
+    _PROCESS_SHARD = _Shard(config)
+
+
+def _process_shard_call(task):
+    """Worker entry: attach the chunk zero-copy, run, detach.
+
+    ``task`` is ``(method, refs, rows)``: the chunk block lives in a
+    :class:`SharedArrayPool` segment (``refs``), the worker attaches it
+    read-only and takes its row subset (a copy, so nothing returned
+    aliases shared memory).
+    """
+    method, refs, rows = task
+    arrays, handles = attach_arrays(refs)
+    try:
+        items = arrays["items"]
+        items = items[rows] if rows is not None else np.array(items)
+        return getattr(_PROCESS_SHARD, method)(items)
+    finally:
+        detach_arrays(handles)
+
+
+def _process_shard_reset(_):
+    _PROCESS_SHARD.reset()
+
+
+class _ProcessBackend:
+    """One persistent single-worker process per shard.
+
+    Shard state stays resident in its worker (a ``max_workers=1`` pool
+    guarantees affinity); per chunk only the arrival block crosses the
+    process boundary, shared zero-copy through a
+    :class:`SharedArrayPool` whose segments are unlinked before the
+    coordinator returns (the leak gate in CI checks exactly this).
+    """
+
+    name = "process"
+
+    def __init__(self, configs):
+        self._pools = [
+            ProcessPoolExecutor(
+                max_workers=1,
+                initializer=_process_shard_init,
+                initargs=(config,),
+            )
+            for config in configs
+        ]
+
+    def run_shared(self, method: str, items: np.ndarray, rows_per_shard) -> list:
+        with SharedArrayPool() as pool:
+            refs = pool.share({"items": np.ascontiguousarray(items)})
+            futures = [
+                worker.submit(_process_shard_call, (method, refs, rows))
+                for worker, rows in zip(self._pools, rows_per_shard)
+            ]
+            return [future.result() for future in futures]
+
+    def reset(self) -> None:
+        for worker in self._pools:
+            worker.submit(_process_shard_reset, None).result()
+
+    def close(self) -> None:
+        for worker in self._pools:
+            worker.shutdown(wait=True)
+
+
+# =====================================================================
+# the sharded detector
+# =====================================================================
+class ShardedStreamingDetector:
+    """Single-stream semantics, ``N``-shard execution.
+
+    Mirrors the :class:`~repro.streaming.online.StreamingDetector`
+    surface (``process`` / ``prime`` / ``score`` / ``score_samples`` /
+    ``stats``), so it drops into the serving layer and the plan
+    compiler unchanged.
+
+    Parameters
+    ----------
+    kind:
+        ``"funta"``, ``"dirout"`` or ``"halfspace"`` (``"pipeline"`` is
+        single-stream only — its Welford state merges via
+        :func:`~repro.streaming.online.merge_moments`, but featurization
+        is stateful per pipeline).
+    shards:
+        Number of shard states. The window ``capacity`` must divide
+        evenly, leaving >= 2 slots per shard.
+    capacity:
+        Total reference window size (split evenly across shards).
+    window_kind:
+        ``"sliding"`` (exact single-stream equivalence) or
+        ``"reservoir"`` (distribution-equivalent union reference).
+    threshold:
+        Optional :class:`FederatedThreshold` with matching ``n_shards``.
+    drift:
+        Optional :class:`FederatedDrift` with matching ``n_shards``.
+    backend:
+        ``"serial"``, ``"thread"`` (default) or ``"process"``.
+    seed:
+        Master seed for the per-shard reservoir eviction streams.
+
+    Remaining parameters follow :class:`StreamingDetector`.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        shards: int,
+        capacity: int = 128,
+        window_kind: str = "sliding",
+        threshold: FederatedThreshold | None = None,
+        drift: FederatedDrift | None = None,
+        min_reference: int = 8,
+        update_policy: str = "all",
+        on_drift: str = "adapt",
+        incremental: bool = True,
+        aggregation: str = "integral",
+        backend: str = "thread",
+        block_bytes: int | None = None,
+        context=None,
+        seed=None,
+        **options,
+    ):
+        if kind not in _SHARD_KINDS:
+            raise ValidationError(
+                f"sharded streaming supports kinds {_SHARD_KINDS}, got {kind!r}"
+            )
+        self.n_shards = check_int(shards, "shards", minimum=1)
+        self.capacity = check_int(capacity, "capacity", minimum=2)
+        if self.capacity % self.n_shards:
+            raise ValidationError(
+                f"window capacity {self.capacity} must divide evenly across "
+                f"{self.n_shards} shards"
+            )
+        if self.capacity // self.n_shards < 2:
+            raise ValidationError(
+                f"window capacity {self.capacity} leaves fewer than 2 slots "
+                f"per shard across {self.n_shards} shards"
+            )
+        if window_kind not in ("sliding", "reservoir"):
+            raise ValidationError(
+                f"window_kind must be 'sliding' or 'reservoir', got {window_kind!r}"
+            )
+        if backend not in SHARD_BACKENDS:
+            raise ValidationError(
+                f"backend must be one of {SHARD_BACKENDS}, got {backend!r}"
+            )
+        if update_policy not in ("all", "inliers", "none"):
+            raise ValidationError(
+                f"update_policy must be 'all', 'inliers' or 'none', got {update_policy!r}"
+            )
+        if on_drift not in ("adapt", "rereference"):
+            raise ValidationError(
+                f"on_drift must be 'adapt' or 'rereference', got {on_drift!r}"
+            )
+        if threshold is not None:
+            if not isinstance(threshold, FederatedThreshold):
+                raise ValidationError(
+                    "sharded threshold must be a FederatedThreshold, got "
+                    f"{type(threshold).__name__}"
+                )
+            if threshold.n_shards != self.n_shards:
+                raise ValidationError(
+                    f"threshold spans {threshold.n_shards} shards, detector "
+                    f"has {self.n_shards}"
+                )
+        if drift is not None:
+            if not isinstance(drift, FederatedDrift):
+                raise ValidationError(
+                    f"sharded drift must be a FederatedDrift, got {type(drift).__name__}"
+                )
+            if drift.n_shards != self.n_shards:
+                raise ValidationError(
+                    f"drift monitor spans {drift.n_shards} shards, detector "
+                    f"has {self.n_shards}"
+                )
+        unknown = set(options) - StreamingDetector._ALLOWED_OPTIONS[kind]
+        if unknown:
+            raise ValidationError(
+                f"unknown options for kind {kind!r}: {sorted(unknown)}; "
+                f"allowed: {sorted(StreamingDetector._ALLOWED_OPTIONS[kind])}"
+            )
+        if backend == "process":
+            if kind == "dirout":
+                raise ValidationError(
+                    "the process backend needs a partial-scoring kind; "
+                    "Dir.out scores against the merged window — use the "
+                    "'thread' or 'serial' backend"
+                )
+            if kind == "funta" and options.get("trim", 0.0) > 0:
+                raise ValidationError(
+                    "trimmed FUNTA scores against the merged window and "
+                    "cannot use the process backend; use 'thread' or 'serial'"
+                )
+            if not incremental:
+                raise ValidationError(
+                    "the process backend requires incremental=True "
+                    "(refit scoring needs the merged window)"
+                )
+        self.kind = kind
+        self.window_kind = window_kind
+        self.threshold = threshold
+        self.drift = drift
+        self.min_reference = check_int(min_reference, "min_reference", minimum=2)
+        if self.min_reference > self.capacity:
+            raise ValidationError(
+                f"min_reference={self.min_reference} exceeds the window "
+                f"capacity {self.capacity}"
+            )
+        self.update_policy = update_policy
+        self.on_drift = on_drift
+        self.incremental = bool(incremental)
+        self.aggregation = aggregation
+        self.backend = backend
+        self.block_bytes = block_bytes
+        self.context = context
+        self.seed = seed
+        self.options = options
+        self.grid: np.ndarray | None = None
+        self.n_parameters: int | None = None
+        self._executor = None
+        self._shard_seen = [0] * self.n_shards
+        self._scored_count = 0
+        self.n_seen = 0
+        self.n_scored = 0
+        self.n_flagged = 0
+        self.n_rereferences = 0
+
+    # ------------------------------------------------------------------ plumbing
+    @property
+    def n_reference(self) -> int:
+        cap = self.capacity // self.n_shards
+        return sum(min(seen, cap) for seen in self._shard_seen)
+
+    @property
+    def ready(self) -> bool:
+        return self.n_reference >= self.min_reference
+
+    @property
+    def window_full(self) -> bool:
+        return self.n_reference == self.capacity
+
+    @property
+    def drift_events(self) -> list[DriftEvent]:
+        return [] if self.drift is None else self.drift.events
+
+    def _coerce(self, data) -> MFDataGrid:
+        mfd = as_mfd(data)
+        if self.grid is None:
+            self.grid = mfd.grid.copy()
+            self.n_parameters = mfd.n_parameters
+        else:
+            if mfd.n_points != self.grid.shape[0] or not np.allclose(mfd.grid, self.grid):
+                raise ValidationError("stream batches must share the detector's grid")
+            if mfd.n_parameters != self.n_parameters:
+                raise ValidationError(
+                    f"stream batch has {mfd.n_parameters} parameters, "
+                    f"expected {self.n_parameters}"
+                )
+        return mfd
+
+    @property
+    def _partial_mode(self) -> bool:
+        """Whether scoring sums shard partials (vs merged-window state)."""
+        if not self.incremental:
+            return False
+        if self.kind == "funta":
+            return self.options.get("trim", 0.0) == 0
+        if self.kind == "halfspace":
+            return self.n_parameters == 1
+        return False
+
+    def _ensure_executor(self):
+        if self._executor is not None:
+            return self._executor
+        if self.grid is None:
+            raise NotFittedError("the detector has not seen any data yet")
+        shard_cap = self.capacity // self.n_shards
+        seeds = np.random.SeedSequence(self.seed).generate_state(self.n_shards)
+        configs = [
+            {
+                "kind": self.kind,
+                "capacity": shard_cap,
+                "window_kind": self.window_kind,
+                "seed": int(seeds[i]),
+                "grid": self.grid,
+                "n_parameters": self.n_parameters,
+                "incremental": self.incremental,
+                "aggregation": self.aggregation,
+                "block_bytes": self.block_bytes,
+                "options": dict(self.options),
+            }
+            for i in range(self.n_shards)
+        ]
+        if self.backend == "process":
+            self._executor = _ProcessBackend(configs)
+        elif self.backend == "thread":
+            self._executor = _ThreadBackend(configs)
+        else:
+            self._executor = _SerialBackend(configs)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the executor backend down (workers, thread pool)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "ShardedStreamingDetector":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ dispatch
+    def _ingest(self, items: np.ndarray, mask: np.ndarray | None = None) -> None:
+        """Round-robin the (unmasked) items across the shard windows.
+
+        The dispatch counter advances only for ingested items — exactly
+        mirroring the single window's ``n_seen``, so the shard union is
+        the single-stream trailing window bit for bit.
+        """
+        executor = self._ensure_executor()
+        kept = np.arange(items.shape[0]) if mask is None else np.flatnonzero(mask)
+        base = sum(self._shard_seen)
+        rows_per_shard = [
+            kept[(i - base) % self.n_shards :: self.n_shards]
+            for i in range(self.n_shards)
+        ]
+        if self.backend == "process":
+            results = executor.run_shared("ingest", items, rows_per_shard)
+        else:
+            results = executor.run(
+                "ingest", [(items[rows],) for rows in rows_per_shard]
+            )
+        for i, (n_seen, _size) in enumerate(results):
+            self._shard_seen[i] = n_seen
+
+    def _rereference(self) -> None:
+        """Barrier reset: every shard re-anchors on the same (empty) window."""
+        executor = self._ensure_executor()
+        if self.backend == "process":
+            executor.reset()
+        else:
+            executor.run("reset", [() for _ in range(self.n_shards)])
+        self._shard_seen = [0] * self.n_shards
+        self._scored_count = 0
+        if self.threshold is not None:
+            self.threshold.reset()
+        self.n_rereferences += 1
+
+    # ------------------------------------------------------------------ scoring
+    def _score_partials(self, items: np.ndarray) -> np.ndarray:
+        executor = self._ensure_executor()
+        if self.backend == "process":
+            all_rows = [None] * self.n_shards  # every worker scores the chunk
+            parts = executor.run_shared(
+                "funta_partials" if self.kind == "funta" else "halfspace_counts",
+                items,
+                all_rows,
+            )
+        else:
+            parts = executor.run(
+                "funta_partials" if self.kind == "funta" else "halfspace_counts",
+                [(items,) for _ in range(self.n_shards)],
+            )
+        if self.kind == "funta":
+            counts = np.sum([part[0] for part in parts], axis=0)  # (p, b)
+            sums = np.sum([part[1] for part in parts], axis=0)
+            safe = np.maximum(counts, 1)
+            depth = np.where(
+                counts > 0, 1.0 - (sums / safe) / _kernels._HALF_PI, 1.0
+            )
+            depth = np.clip(depth, 0.0, 1.0)
+            return 1.0 - np.mean(depth, axis=0)
+        from repro.depth.functional import aggregate_depth
+
+        le = np.sum([part[0] for part in parts], axis=0)  # (m, b)
+        lt = np.sum([part[1] for part in parts], axis=0)
+        n_ref = self.n_reference
+        profile = (np.minimum(le, n_ref - lt) / n_ref).T
+        return 1.0 - aggregate_depth(profile, self.grid, self.aggregation)
+
+    def _merged_window(self) -> ReferenceWindow:
+        windows = [shard.window for shard in self._executor.shards]
+        if self.window_kind == "sliding":
+            return SlidingWindow.merged(windows)
+        merged = ReferenceWindow(self.capacity)
+        filled = [w.values for w in windows if w.size]
+        if filled:
+            values = np.concatenate(filled, axis=0)
+            merged._values = np.empty((self.capacity, *values.shape[1:]))
+            merged._values[: values.shape[0]] = values
+            merged.size = values.shape[0]
+        merged.n_seen = sum(w.n_seen for w in windows)
+        return merged
+
+    def _score_merged(self, items: np.ndarray) -> np.ndarray:
+        """Score against the merged window-equivalent state.
+
+        Reuses the single-stream scorer-state code verbatim on the
+        merged window, with the incremental caches reconstructed by the
+        merge operations (sorted-lane union, theta-ring union) — the
+        result is the state a single detector would hold, so the scores
+        are the single detector's scores.
+        """
+        merged = self._merged_window()
+        shards = self._executor.shards
+        states = [shard.det._ensure_scorer() for shard in shards]
+        if self.kind == "funta":
+            scorer = _FuntaState(
+                self.grid, self.capacity, self.options.get("trim", 0.0),
+                self.block_bytes, self.context, self.incremental,
+            )
+            if self.incremental:
+                if self.window_kind == "sliding":
+                    scorer._theta = _FuntaState.merged_theta(
+                        states, [shard.window for shard in shards]
+                    )
+                else:
+                    filled = [
+                        state._theta[: shard.window.size]
+                        for state, shard in zip(states, shards)
+                        if state._theta is not None and shard.window.size
+                    ]
+                    scorer._theta = np.concatenate(filled) if filled else None
+        elif self.kind == "dirout":
+            scorer = _DiroutState(
+                self.grid, self.capacity,
+                self.options.get("n_directions", 200),
+                self.options.get("random_state", 0),
+                self.block_bytes, self.context, self.incremental,
+                self.n_parameters,
+            )
+            if scorer.incremental:
+                scorer._lanes = SortedLanes.merged(
+                    [state._lanes for state in states]
+                )
+        else:
+            scorer = _HalfspaceState(
+                self.grid, self.capacity, self.aggregation,
+                self.options.get("n_directions", 500),
+                self.options.get("random_state", 0),
+                self.block_bytes, self.context, self.incremental,
+                self.n_parameters,
+            )
+            if scorer.incremental:
+                scorer._lanes = SortedLanes.merged(
+                    [state._lanes for state in states]
+                )
+        return scorer.score(items, merged)
+
+    def _score_items(self, items: np.ndarray) -> np.ndarray:
+        if self._partial_mode:
+            return self._score_partials(items)
+        if self.backend == "process":  # pragma: no cover - guarded at init
+            raise ValidationError(
+                "merged-window scoring is unavailable on the process backend"
+            )
+        return self._score_merged(items)
+
+    def _shard_splits(self, scores: np.ndarray) -> list[np.ndarray]:
+        """Round-robin split of a score chunk by global scored index."""
+        base = self._scored_count
+        return [
+            scores[(i - base) % self.n_shards :: self.n_shards]
+            for i in range(self.n_shards)
+        ]
+
+    # ------------------------------------------------------------------ API
+    def prime(self, reference) -> "ShardedStreamingDetector":
+        """Bulk-load an initial reference sample (no scoring, no drift)."""
+        mfd = self._coerce(reference)
+        self._ingest(mfd.values)
+        self.n_seen += mfd.n_samples
+        return self
+
+    def score(self, data) -> np.ndarray:
+        """Score a batch against the current union reference — stateless."""
+        mfd = self._coerce(data)
+        if not self.ready:
+            raise NotFittedError(
+                f"sharded reference holds {self.n_reference} curves but "
+                f"min_reference={self.min_reference}; prime() or process() more data"
+            )
+        return self._score_items(mfd.values)
+
+    score_samples = score
+
+    def process(self, data) -> StreamBatchResult:
+        """One online step: score, threshold, drift-check, ingest.
+
+        The exact step order of the single-stream detector — scores are
+        computed against the pre-chunk reference, the federated
+        threshold and drift monitors fold the round-robin score splits
+        in, a drift event triggers the coordinated re-reference barrier,
+        then the chunk is dealt into the shard windows.
+        """
+        mfd = self._coerce(data)
+        items = mfd.values
+        self.n_seen += mfd.n_samples
+        if not self.ready:
+            self._ingest(items)
+            return StreamBatchResult(
+                scores=None, flags=None, threshold=None, drift=None,
+                n_reference=self.n_reference, warmup=True,
+            )
+        scores = self._score_items(items)
+        self.n_scored += scores.shape[0]
+        splits = self._shard_splits(scores)
+        was_full = self.window_full
+        self._scored_count += scores.shape[0]
+        threshold_value = None
+        flags = None
+        if self.threshold is not None:
+            threshold_value = self.threshold.update(splits)
+            if threshold_value is not None:
+                flags = scores > threshold_value
+                self.n_flagged += int(flags.sum())
+        event = None
+        if self.drift is not None and was_full:
+            event = self.drift.update(splits)
+        if event is not None and self.on_drift == "rereference":
+            self._rereference()
+        if self.update_policy == "none":
+            mask = np.zeros(items.shape[0], dtype=bool)
+        elif self.update_policy == "inliers" and flags is not None:
+            mask = ~flags
+        else:
+            mask = None
+        self._ingest(items, mask)
+        return StreamBatchResult(
+            scores=scores, flags=flags, threshold=threshold_value,
+            drift=event, n_reference=self.n_reference, warmup=False,
+        )
+
+    def stats(self) -> dict:
+        """Counters for monitoring (superset of ``StreamingDetector.stats``)."""
+        return {
+            "kind": self.kind,
+            "n_seen": self.n_seen,
+            "n_scored": self.n_scored,
+            "n_flagged": self.n_flagged,
+            "n_reference": self.n_reference,
+            "n_rereferences": self.n_rereferences,
+            "drift_events": len(self.drift_events),
+            "incremental": self.incremental,
+            "shards": self.n_shards,
+            "backend": self.backend,
+            "partial_scoring": bool(self._partial_mode),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedStreamingDetector({self.kind!r}, shards={self.n_shards}, "
+            f"backend={self.backend!r}, scored={self.n_scored})"
+        )

@@ -160,6 +160,15 @@ class SlidingWindow(ReferenceWindow):
     Once full, arrival ``t`` overwrites slot ``t mod capacity`` — the
     slot holding the oldest item — so the buffer is the true trailing
     window of the stream at every step.
+
+    Sliding windows are *mergeable under round-robin dispatch*: when a
+    global stream is dealt to N shard windows of capacity ``C/N``
+    (arrival ``g`` to shard ``g mod N``), the union of the shard
+    contents is exactly the last ``C`` global arrivals.  :meth:`merged`
+    reconstructs the single global window from such shards — including
+    its physical slot layout, so downstream consumers that read
+    ``values`` in slot order see bit-identical state — and
+    :meth:`split` is its inverse.
     """
 
     def _choose_slot(self) -> int:
@@ -172,6 +181,84 @@ class SlidingWindow(ReferenceWindow):
             return np.arange(self.size)
         head = self.n_seen % self.capacity  # oldest item lives here
         return (head + np.arange(self.capacity)) % self.capacity
+
+    # ------------------------------------------------------------------ sharding
+    @classmethod
+    def merged(cls, shards) -> "SlidingWindow":
+        """Recombine round-robin shard windows into the global window.
+
+        ``shards[i]`` must have received exactly the global arrivals
+        ``g`` with ``g mod N == i`` (equal capacities); the result is
+        state-identical — buffer layout included — to one
+        ``SlidingWindow(N * capacity)`` that saw the whole stream.
+        """
+        shards = list(shards)
+        if not shards:
+            raise ValidationError("merged() needs at least one shard window")
+        for shard in shards:
+            if not isinstance(shard, SlidingWindow):
+                raise ValidationError(
+                    f"merged() takes SlidingWindow shards, got {type(shard).__name__}"
+                )
+        n = len(shards)
+        cap = shards[0].capacity
+        if any(s.capacity != cap for s in shards):
+            raise ValidationError("shard windows must share one capacity")
+        total_seen = sum(s.n_seen for s in shards)
+        for i, shard in enumerate(shards):
+            expected = (total_seen - i + n - 1) // n
+            if shard.n_seen != expected:
+                raise ValidationError(
+                    f"shard {i} saw {shard.n_seen} arrivals but round-robin "
+                    f"dispatch of {total_seen} implies {expected}; merge only "
+                    "applies to round-robin shard windows"
+                )
+        merged = cls(cap * n)
+        merged.n_seen = total_seen
+        for i, shard in enumerate(shards):
+            if shard.size == 0:
+                continue
+            items = shard.ordered_values()  # oldest -> newest
+            first_local = shard.n_seen - shard.size
+            for j in range(shard.size):
+                item = merged._ensure_buffer(items[j])
+                g = (first_local + j) * n + i
+                merged._values[g % merged.capacity] = item
+                merged.size += 1
+        return merged
+
+    def split(self, n_shards: int) -> "list[SlidingWindow]":
+        """Deal this window into ``n_shards`` round-robin shard windows.
+
+        The inverse of :meth:`merged`: shard ``i`` ends up exactly as if
+        it had received the global arrivals ``g mod n_shards == i`` all
+        along (capacity ``capacity / n_shards``, which must divide and
+        leave at least 2 slots per shard).
+        """
+        n_shards = check_int(n_shards, "n_shards", minimum=1)
+        if self.capacity % n_shards:
+            raise ValidationError(
+                f"window capacity {self.capacity} must divide evenly across "
+                f"{n_shards} shards"
+            )
+        shard_cap = self.capacity // n_shards
+        if shard_cap < 2:
+            raise ValidationError(
+                f"window capacity {self.capacity} leaves {shard_cap} slots per "
+                f"shard; every shard window needs >= 2"
+            )
+        shards = [SlidingWindow(shard_cap) for _ in range(n_shards)]
+        total = self.n_seen
+        for i, shard in enumerate(shards):
+            shard.n_seen = (total - i + n_shards - 1) // n_shards
+            shard.size = min(shard.n_seen, shard_cap)
+        for g in range(total - self.size, total):
+            item = self._values[g % self.capacity]
+            shard = shards[g % n_shards]
+            if shard._values is None:
+                shard._values = np.empty((shard_cap, *item.shape))
+            shard._values[(g // n_shards) % shard_cap] = item
+        return shards
 
 
 class ReservoirWindow(ReferenceWindow):
@@ -208,3 +295,83 @@ class ReservoirWindow(ReferenceWindow):
         # A reservoir has no meaningful age order; slot order is the
         # canonical deterministic order.
         return np.arange(self.size)
+
+    # ------------------------------------------------------------------ sharding
+    @classmethod
+    def merged(cls, shards, capacity=None, random_state=None) -> "ReservoirWindow":
+        """Combine shard reservoirs into one reservoir-distributed window.
+
+        Each retained item of shard ``i`` stands for ``n_seen_i /
+        size_i`` stream arrivals; the merge draws ``capacity`` of the
+        pooled items by weighted sampling without replacement
+        (Efraimidis–Spirakis keys ``u ** (1/w)``), which preserves the
+        uniform-over-history marginal of Algorithm R.  Unlike the
+        sliding-window merge this is a *resample*, not a bit-exact
+        reconstruction — reservoirs forget arrival order, so only the
+        distribution is mergeable.  Seeded and reproducible via
+        ``random_state``.
+        """
+        shards = list(shards)
+        if not shards:
+            raise ValidationError("merged() needs at least one shard window")
+        for shard in shards:
+            if not isinstance(shard, ReservoirWindow):
+                raise ValidationError(
+                    f"merged() takes ReservoirWindow shards, got {type(shard).__name__}"
+                )
+        if capacity is None:
+            capacity = sum(s.capacity for s in shards)
+        total_seen = sum(s.n_seen for s in shards)
+        merged = cls(capacity, random_state=random_state)
+        merged.n_seen = total_seen
+        pool = [s.values for s in shards if s.size]
+        if not pool:
+            return merged
+        items = np.concatenate(pool, axis=0)
+        weights = np.concatenate(
+            [np.full(s.size, s.n_seen / s.size) for s in shards if s.size]
+        )
+        if items.shape[0] > capacity:
+            keys = merged._rng.random(items.shape[0]) ** (1.0 / weights)
+            keep = np.argsort(keys)[-capacity:]
+            items = items[np.sort(keep)]
+        merged._values = np.empty((merged.capacity, *items.shape[1:]))
+        merged._values[: items.shape[0]] = items
+        merged.size = items.shape[0]
+        return merged
+
+    def split(self, n_shards: int, random_state=None) -> "list[ReservoirWindow]":
+        """Deal this reservoir into ``n_shards`` shard reservoirs.
+
+        A seeded shuffle followed by a round-robin deal: each shard gets
+        a uniform subsample (capacity ``capacity / n_shards``, which
+        must divide and leave >= 2 slots) and a proportional share of
+        ``n_seen``, so every shard is itself a valid Algorithm-R state
+        over ``1 / n_shards`` of the history.
+        """
+        n_shards = check_int(n_shards, "n_shards", minimum=1)
+        if self.capacity % n_shards:
+            raise ValidationError(
+                f"window capacity {self.capacity} must divide evenly across "
+                f"{n_shards} shards"
+            )
+        shard_cap = self.capacity // n_shards
+        if shard_cap < 2:
+            raise ValidationError(
+                f"window capacity {self.capacity} leaves {shard_cap} slots per "
+                f"shard; every shard window needs >= 2"
+            )
+        rng = check_random_state(random_state)
+        order = rng.permutation(self.size)
+        shards = []
+        for i in range(n_shards):
+            shard = ReservoirWindow(shard_cap, random_state=rng.integers(2**32))
+            picks = order[i::n_shards][:shard_cap]
+            shard.n_seen = (self.n_seen - i + n_shards - 1) // n_shards
+            if picks.size:
+                items = self.values[np.sort(picks)]
+                shard._values = np.empty((shard_cap, *items.shape[1:]))
+                shard._values[: items.shape[0]] = items
+                shard.size = items.shape[0]
+            shards.append(shard)
+        return shards

@@ -1,0 +1,259 @@
+"""Sharded streaming: N shard states must reproduce the single stream.
+
+The acceptance pins for the sharded tier:
+
+* on :func:`repro.data.make_drifting_stream` with shard-aligned
+  geometry (window 84 = 2²·3·7, chunk 21), the sharded detector must
+  reproduce the single-stream scores (``rtol=1e-12`` — the only
+  difference is floating summation order over shard partials), the
+  exact flag sequence, and the exact drift/re-reference chunk indices,
+  for every shard count in {1, 2, 3, 7} **through a re-reference
+  barrier** (the hard part: all shards must re-anchor on the same
+  window or the states diverge silently);
+* the serial / thread / process backends are bitwise interchangeable;
+* the process backend refuses configurations whose per-arrival state
+  cannot be shipped as additive partials;
+* the plan layer compiles ``StreamSpec(shards=N)`` into the sharded
+  detector and rejects non-mergeable / non-divisible configurations;
+* the serving layer streams through a registered sharded detector.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import make_drifting_stream
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.fda.fdata import MFDataGrid
+from repro.plan import StreamSpec, compile_plan
+from repro.serving import ScoringService
+from repro.streaming import (
+    DepthRankDrift,
+    FederatedDrift,
+    FederatedThreshold,
+    ShardedStreamingDetector,
+    SlidingWindow,
+    StreamingDetector,
+    make_threshold,
+)
+
+RTOL = 1e-12
+
+# 84 = 2^2 * 3 * 7: window, drift buffers and chunk size all divide
+# evenly for every tested shard count, and min_gap == chunk_size lands
+# both monitors' checks on chunk boundaries (required for the federated
+# decision sequence to be identical, not just statistically close).
+WINDOW = 84
+CHUNK = 21
+CONTAMINATION = 0.1
+ALPHA = 0.05
+SHARD_COUNTS = (1, 2, 3, 7)
+
+
+def _stream():
+    return make_drifting_stream(
+        n_chunks=20, chunk_size=CHUNK, n_points=40, drift_at=8, drift_ramp=2,
+        drift_phase=1.2, drift_scale=1.8, random_state=3,
+    )
+
+
+def _collect(detector):
+    scores, flags, events = [], [], []
+    for chunk_idx, (chunk, _) in enumerate(_stream()):
+        result = detector.process(chunk)
+        if result.scores is not None:
+            scores.append(result.scores)
+        if result.flags is not None:
+            flags.append(result.flags)
+        if result.drift is not None:
+            events.append(chunk_idx)
+    return (
+        np.concatenate(scores),
+        np.concatenate(flags),
+        events,
+        detector.n_rereferences,
+    )
+
+
+def _run_single(kind):
+    detector = StreamingDetector(
+        kind, SlidingWindow(WINDOW), min_reference=2,
+        threshold=make_threshold(CONTAMINATION, "window", capacity=WINDOW),
+        drift=DepthRankDrift(
+            baseline_size=WINDOW, recent_size=WINDOW, alpha=ALPHA,
+            patience=1, min_gap=CHUNK,
+        ),
+        on_drift="rereference",
+    )
+    return _collect(detector)
+
+
+def _run_sharded(kind, n_shards, backend="serial"):
+    detector = ShardedStreamingDetector(
+        kind, shards=n_shards, capacity=WINDOW, min_reference=2,
+        threshold=FederatedThreshold(
+            CONTAMINATION, n_shards, mode="window", capacity=WINDOW
+        ),
+        drift=FederatedDrift(
+            n_shards, baseline_size=WINDOW, recent_size=WINDOW, alpha=ALPHA,
+            patience=1, min_gap=CHUNK,
+        ),
+        on_drift="rereference", backend=backend,
+    )
+    try:
+        return _collect(detector)
+    finally:
+        detector.close()
+
+
+class TestShardedEqualsSingleStream:
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_funta_scores_flags_and_rereference_match(self, n_shards):
+        scores, flags, events, rereferences = _run_single("funta")
+        assert events, "stream parameters must provoke a drift event"
+        assert rereferences >= 1, "re-reference barrier must actually fire"
+        sh_scores, sh_flags, sh_events, sh_rereferences = _run_sharded(
+            "funta", n_shards
+        )
+        np.testing.assert_allclose(sh_scores, scores, rtol=RTOL, atol=0.0)
+        np.testing.assert_array_equal(sh_flags, flags)
+        assert sh_events == events
+        assert sh_rereferences == rereferences
+
+    @pytest.mark.parametrize("kind", ["dirout", "halfspace"])
+    def test_other_kinds_match_bitwise(self, kind):
+        scores, flags, events, rereferences = _run_single(kind)
+        sh_scores, sh_flags, sh_events, sh_rereferences = _run_sharded(kind, 3)
+        np.testing.assert_array_equal(sh_scores, scores)
+        np.testing.assert_array_equal(sh_flags, flags)
+        assert sh_events == events
+        assert sh_rereferences == rereferences
+
+
+class TestBackends:
+    @pytest.mark.parametrize("kind", ["funta", "halfspace"])
+    def test_thread_backend_bitwise_equals_serial(self, kind):
+        serial = _run_sharded(kind, 2, backend="serial")
+        threaded = _run_sharded(kind, 2, backend="thread")
+        np.testing.assert_array_equal(threaded[0], serial[0])
+        np.testing.assert_array_equal(threaded[1], serial[1])
+        assert threaded[2] == serial[2]
+
+    def test_process_backend_bitwise_equals_serial(self):
+        rng = np.random.default_rng(11)
+        m, window, chunk = 32, 24, 6
+        grid = np.linspace(0.0, 1.0, m)
+        prime = MFDataGrid(rng.standard_normal((window, m, 1)), grid)
+        batches = [
+            MFDataGrid(rng.standard_normal((chunk, m, 1)), grid)
+            for _ in range(4)
+        ]
+
+        def run(backend):
+            detector = ShardedStreamingDetector(
+                "funta", shards=2, capacity=window, min_reference=2,
+                backend=backend,
+            )
+            try:
+                detector.prime(prime)
+                return np.concatenate(
+                    [detector.process(b).scores for b in batches]
+                )
+            finally:
+                detector.close()
+
+        np.testing.assert_array_equal(run("process"), run("serial"))
+
+    def test_process_backend_rejects_non_partial_configs(self):
+        with pytest.raises(ValidationError, match="process"):
+            ShardedStreamingDetector(
+                "dirout", shards=2, capacity=16, backend="process"
+            )
+        with pytest.raises(ValidationError, match="process"):
+            ShardedStreamingDetector(
+                "funta", shards=2, capacity=16, backend="process", trim=0.1
+            )
+        with pytest.raises(ValidationError, match="process"):
+            ShardedStreamingDetector(
+                "funta", shards=2, capacity=16, backend="process",
+                incremental=False,
+            )
+
+
+class TestValidation:
+    def test_capacity_must_divide_across_shards(self):
+        with pytest.raises(ValidationError, match="divide"):
+            ShardedStreamingDetector("funta", shards=3, capacity=16)
+
+    def test_federated_state_must_match_shard_count(self):
+        with pytest.raises(ValidationError, match="shards"):
+            ShardedStreamingDetector(
+                "funta", shards=2, capacity=16,
+                threshold=FederatedThreshold(0.1, 3, capacity=12),
+            )
+        with pytest.raises(ValidationError, match="shards"):
+            ShardedStreamingDetector(
+                "funta", shards=2, capacity=16,
+                drift=FederatedDrift(3, baseline_size=24, recent_size=24),
+            )
+
+
+class TestPlanIntegration:
+    def test_stream_spec_compiles_to_sharded_detector(self):
+        spec = StreamSpec(
+            kind="funta", window=WINDOW, shards=2,
+            drift_baseline=WINDOW, drift_recent=WINDOW,
+        )
+        plan = compile_plan(spec)
+        detector = plan.build()
+        try:
+            assert isinstance(detector, ShardedStreamingDetector)
+            assert detector.n_shards == 2
+            assert isinstance(detector.threshold, FederatedThreshold)
+            assert isinstance(detector.drift, FederatedDrift)
+            assert plan.describe()["shards"] == 2
+        finally:
+            detector.close()
+
+    def test_round_trip_keeps_shard_fields(self):
+        spec = StreamSpec(
+            kind="funta", window=WINDOW, shards=3, shard_backend="serial",
+            drift_baseline=WINDOW, drift_recent=WINDOW,
+        )
+        again = StreamSpec.from_dict(spec.to_dict())
+        assert again.shards == 3 and again.shard_backend == "serial"
+
+    def test_sharded_spec_rejects_p2_threshold(self):
+        with pytest.raises(ConfigurationError, match="merge"):
+            StreamSpec(
+                kind="funta", window=WINDOW, shards=2, threshold_mode="p2",
+                drift_baseline=WINDOW, drift_recent=WINDOW,
+            )
+
+    def test_sharded_spec_rejects_indivisible_window(self):
+        with pytest.raises(ConfigurationError, match="divide"):
+            StreamSpec(
+                kind="funta", window=100, shards=3,
+                drift_baseline=84, drift_recent=84,
+            )
+
+
+class TestServingIntegration:
+    def test_sharded_detector_streams_through_service(self):
+        rng = np.random.default_rng(21)
+        m = 32
+        grid = np.linspace(0.0, 1.0, m)
+        service = ScoringService()
+        detector = ShardedStreamingDetector(
+            "funta", shards=2, capacity=16, min_reference=4, backend="serial"
+        )
+        try:
+            service.register("sharded", detector)
+            data = MFDataGrid(rng.standard_normal((24, m, 1)), grid)
+            batches = list(service.stream("sharded", data, chunk_size=8))
+            assert len(batches) == 3
+            scored = [b for b in batches if b.scores is not None]
+            assert scored and all(b.scores.ndim == 1 for b in scored)
+            with pytest.raises(ValidationError, match="streaming"):
+                service.submit("sharded", data)
+        finally:
+            detector.close()
