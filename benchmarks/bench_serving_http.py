@@ -22,9 +22,14 @@ The machine-readable record is appended to the perf trajectory
 smoke configuration.
 """
 
+import asyncio
 import os
+import tempfile
+from pathlib import Path
 
 from repro.perf import (
+    _fit_fig3_pipeline,
+    _http_post_json,
     append_bench_record,
     format_serving_http_rows,
     run_serving_http_bench,
@@ -91,3 +96,118 @@ def test_serving_http_front_door():
         f"{overload['high_water']}-curve high-water mark"
     )
     assert overload["failed_requests"] == 0
+
+
+async def _http_get(host, port, path):
+    """Minimal asyncio HTTP/1.1 GET; returns (status, headers, text body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Connection: close\r\n\r\n".encode("ascii")
+        )
+        await writer.drain()
+        status = int((await reader.readline()).split(b" ", 2)[1])
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = line.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0))
+        body = (await reader.readexactly(length)).decode("utf-8") if length else ""
+        return status, headers, body
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except OSError:
+            pass
+
+
+def _parse_prometheus(text: str) -> dict[str, float]:
+    """Exposition text → {sample name with labels: value}; ignores comments."""
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        samples[name] = float(value)
+    return samples
+
+
+def test_metrics_scrape_smoke():
+    """The ISSUE acceptance check: one /metrics scrape, taken while the
+    server has live traffic behind it, must expose queue depth, shed
+    count, per-route latency histograms, and the engine cache hit rate —
+    and every scoring response must carry an ``X-Trace-Id`` header.
+    """
+    from repro.serving.persist import save_pipeline
+    from repro.serving.server import ScoringServer, load_service
+
+    pipeline, train = _fit_fig3_pipeline(BENCH_SEED)
+    batch = {
+        "pipeline": "fig3_iforest",
+        "values": train.values[:BATCH_CURVES].tolist(),
+        "grid": train.grid.tolist(),
+    }
+
+    async def drive() -> tuple[dict, str, dict]:
+        with tempfile.TemporaryDirectory() as tmp:
+            bundle = Path(tmp) / "fig3_iforest"
+            save_pipeline(pipeline, bundle, compressed=False)
+            service = load_service({"fig3_iforest": bundle}, mmap=True)
+            # high_water below the batch size: the /submit below must shed.
+            server = ScoringServer(service, high_water=BATCH_CURVES // 2)
+            await server.start()
+            try:
+                for _ in range(2):  # second /score hits the factorization cache
+                    status, body = await _http_post_json(
+                        "127.0.0.1", server.port, "/score", batch
+                    )
+                    assert status == 200, body
+                status, body = await _http_post_json(
+                    "127.0.0.1", server.port, "/submit", batch
+                )
+                assert status == 429, f"expected a shed, got {status}: {body}"
+                m_status, m_headers, m_body = await _http_get(
+                    "127.0.0.1", server.port, "/metrics"
+                )
+                assert m_status == 200
+                return m_headers, m_body, service.stats()
+            finally:
+                await server.close()
+
+    headers, text, stats = asyncio.run(drive())
+
+    assert headers["content-type"].startswith("text/plain; version=0.0.4")
+    assert headers.get("x-trace-id"), "no X-Trace-Id on the /metrics response"
+
+    samples = _parse_prometheus(text)
+    assert samples, "empty /metrics exposition"
+
+    # Queue depth gauge — idle again after the shed, and the single
+    # definition the service's stats() view reads.
+    assert samples["serving_queue_depth_curves"] == stats["pending_curves"]
+    # Shed counter saw the 429.
+    assert samples["serving_shed_requests_total"] >= 1
+    # Per-route latency histogram, keyed by route + pipeline label.
+    score_counts = [
+        value for name, value in samples.items()
+        if name.startswith("serving_request_seconds_count")
+        and 'route="/score"' in name
+    ]
+    assert score_counts and sum(score_counts) >= 2, (
+        "no per-route latency series for /score in the scrape"
+    )
+    # Cache hit rate: the second /score reused the factorization.
+    hits = sum(
+        value for name, value in samples.items()
+        if name.startswith("engine_cache_hits_total")
+    )
+    assert hits >= 1, "no engine cache hits recorded while serving traffic"
+    stats_hits = sum(
+        value for key, value in stats["cache"].items() if key.endswith("_hits")
+    )
+    assert hits == stats_hits, "stats() and /metrics disagree on cache hits"

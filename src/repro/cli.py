@@ -10,6 +10,8 @@ Usage::
     python -m repro serve-score --pipeline model_dir --data batch.npz
     python -m repro serve --pipeline ecg=model_dir --port 8000 --workers 4
     python -m repro stream-score --data stream.npz --kind funta --window 128
+    python -m repro telemetry dump --pipeline model_dir --data batch.npz
+    python -m repro telemetry trace --pipeline model_dir --data batch.npz
     python -m repro plan validate examples/specs/*.json model_dir
     python -m repro bench-depth --n 200 --m 100 --n-jobs 2
     python -m repro bench-stream --window 128 --arrivals 200
@@ -386,6 +388,56 @@ def run_stream_score(args) -> None:
     )
 
 
+def run_telemetry(args) -> None:
+    """telemetry: one instrumented scoring pass, exported as metrics or traces.
+
+    Loads a persisted pipeline into a telemetry-enabled execution
+    context, streams the ``.npz`` batch through the chunked executor
+    under a root span, then emits what the run recorded:
+
+    * ``dump``  — the metrics registry as JSON (default) or Prometheus
+      text (``--format prometheus``): cache hits, kernel timings,
+      per-chunk latency histograms with p50/p95/p99;
+    * ``trace`` — the completed trace trees as JSON Lines, one root
+      (the run) per line with per-chunk child spans.
+    """
+    import json
+
+    from repro.engine import ExecutionContext
+    from repro.plan.executor import run_chunked
+    from repro.serving.persist import load_pipeline
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    context = ExecutionContext(telemetry=telemetry)
+    pipeline = load_pipeline(args.pipeline, context=context)
+    data = _load_batch_npz(args.data)
+    n_chunks = 0
+    with telemetry.span("telemetry_run", pipeline=str(args.pipeline),
+                        curves=data.n_samples):
+        for _ in run_chunked(pipeline.score_samples, data,
+                             chunk_size=args.chunk_size, telemetry=telemetry):
+            n_chunks += 1
+    if args.telemetry_command == "dump":
+        if args.format == "prometheus":
+            text = telemetry.to_prometheus()
+        else:
+            text = json.dumps(telemetry.snapshot(), indent=2, sort_keys=True) + "\n"
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"telemetry dump: {args.output} "
+                  f"({data.n_samples} curves, {n_chunks} chunks)")
+        else:
+            print(text, end="")
+    else:
+        if args.output:
+            count = telemetry.tracer.export_jsonl(args.output)
+            print(f"telemetry trace: {args.output} ({count} trace trees)")
+        else:
+            telemetry.tracer.export_jsonl(sys.stdout)
+
+
 def run_bench_stream(args) -> None:
     """bench-stream: time incremental vs refit streaming, persist record."""
     from repro.perf import append_bench_record, format_streaming_rows, run_streaming_bench
@@ -561,6 +613,32 @@ def build_parser() -> argparse.ArgumentParser:
                         help="reservoir eviction seed")
     stream.add_argument("--output", default=None,
                         help="optional .npz path for scores + flags")
+    telemetry_parser = subparsers.add_parser(
+        "telemetry",
+        help="run one instrumented scoring pass over a saved pipeline and "
+             "export its metrics registry or trace trees")
+    telemetry_sub = telemetry_parser.add_subparsers(
+        dest="telemetry_command", required=True)
+    tel_common = argparse.ArgumentParser(add_help=False)
+    tel_common.add_argument("--pipeline", required=True,
+                            help="directory written by repro.serving.save_pipeline")
+    tel_common.add_argument("--data", required=True,
+                            help=".npz with 'values' (n, m[, p]) and 'grid' (m,) arrays")
+    tel_common.add_argument("--chunk-size", type=int, default=256,
+                            help="curves per streamed scoring chunk")
+    tel_dump = telemetry_sub.add_parser(
+        "dump", parents=[tel_common],
+        help="emit the run's metrics registry (JSON or Prometheus text)")
+    tel_dump.add_argument("--format", default="json",
+                          choices=("json", "prometheus"),
+                          help="snapshot format (default json)")
+    tel_dump.add_argument("--output", default=None,
+                          help="file to write instead of stdout")
+    tel_trace = telemetry_sub.add_parser(
+        "trace", parents=[tel_common],
+        help="emit the run's trace trees as JSON Lines (one root per line)")
+    tel_trace.add_argument("--output", default=None,
+                           help="JSONL file to write instead of stdout")
     plan_parser = subparsers.add_parser(
         "plan", help="inspect and validate declarative scoring specs")
     plan_sub = plan_parser.add_subparsers(dest="plan_command", required=True)
@@ -624,6 +702,8 @@ def main(argv=None) -> int:
             run_serve_score(args)
         elif args.command == "stream-score":
             run_stream_score(args)
+        elif args.command == "telemetry":
+            run_telemetry(args)
         elif args.command == "bench-depth":
             run_bench_depth(args)
         elif args.command == "bench-stream":

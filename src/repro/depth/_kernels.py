@@ -36,6 +36,7 @@ property tests pin these kernels against.
 from __future__ import annotations
 
 import functools
+import time
 
 import numpy as np
 
@@ -131,7 +132,7 @@ def _direction_stack(random_state, n_directions: int, p: int, m: int) -> np.ndar
     return stack
 
 
-def _run_blocks(worker, blocks, context, arrays=None):
+def _run_blocks(worker, blocks, context, arrays=None, label=None):
     """Apply ``worker(block, **arrays)`` to every block, optionally pooled.
 
     ``arrays`` holds the large read-only inputs (curve cubes, direction
@@ -141,11 +142,31 @@ def _run_blocks(worker, blocks, context, arrays=None):
     workers attach zero-copy (``context.run_blocks``).  Whole blocks are
     the work units and results come back in input order, so the pooled
     result is bit-identical to the serial one.
+
+    When the context carries an enabled telemetry handle, each call
+    counts one invocation + ``len(blocks)`` blocks and records its wall
+    time under the ``label`` kernel tag — one timestamp pair per
+    invocation (never per block), so kernel numerics and per-block cost
+    are untouched.
     """
     arrays = dict(arrays or {})
-    if context is None or getattr(context, "n_jobs", 1) <= 1 or len(blocks) <= 1:
-        return [worker(block, **arrays) for block in blocks]
-    return context.run_blocks(worker, blocks, arrays=arrays)
+    serial = context is None or getattr(context, "n_jobs", 1) <= 1 or len(blocks) <= 1
+    telemetry = getattr(context, "telemetry", None)
+    if telemetry is None or not telemetry.enabled:
+        if serial:
+            return [worker(block, **arrays) for block in blocks]
+        return context.run_blocks(worker, blocks, arrays=arrays)
+    kernel = label or getattr(worker, "__name__", "kernel")
+    start = time.perf_counter()
+    if serial:
+        results = [worker(block, **arrays) for block in blocks]
+    else:
+        results = context.run_blocks(worker, blocks, arrays=arrays)
+    elapsed = time.perf_counter() - start
+    telemetry.counter("depth_kernel_invocations_total", kernel=kernel).inc()
+    telemetry.counter("depth_kernel_blocks_total", kernel=kernel).inc(len(blocks))
+    telemetry.histogram("depth_kernel_seconds", kernel=kernel).observe(elapsed)
+    return results
 
 
 # --------------------------------------------------------------------------- ranks
@@ -440,7 +461,7 @@ def funta_univariate(
         "theta_pts": theta_pts,
         "theta_ref": theta_ref,
     }
-    return np.concatenate(_run_blocks(worker, blocks, context, arrays))
+    return np.concatenate(_run_blocks(worker, blocks, context, arrays, label="funta"))
 
 
 def funta_partials(
@@ -580,7 +601,9 @@ def batched_stahel_donoho(
     bytes_per_col = (n + ref_values.shape[0]) * n_dir * compute_dtype.itemsize * 3.2
     blocks = row_blocks(m, bytes_per_col, block_bytes)
     arrays = {"values": values, "ref_values": ref_values, "directions": directions}
-    return np.concatenate(_run_blocks(_sdo_block, blocks, context, arrays), axis=1)
+    return np.concatenate(
+        _run_blocks(_sdo_block, blocks, context, arrays, label="sdo"), axis=1
+    )
 
 
 # --------------------------------------------------------------------------- halfspace
@@ -650,7 +673,9 @@ def _halfspace_profile(
     bytes_per_col = (n + ref_values.shape[0]) * n_dir * compute_dtype.itemsize * 5.0
     blocks = row_blocks(m, bytes_per_col, block_bytes)
     arrays = {"values": values, "ref_values": ref_values, "directions": directions}
-    return np.concatenate(_run_blocks(_halfspace_block, blocks, context, arrays), axis=1)
+    return np.concatenate(
+        _run_blocks(_halfspace_block, blocks, context, arrays, label="halfspace"), axis=1
+    )
 
 
 def halfspace_depth_cloud(
@@ -723,7 +748,9 @@ def _spatial_profile(
     bytes_per_col = n * ref_values.shape[0] * (p + 2) * compute_dtype.itemsize * 1.6
     blocks = row_blocks(m, bytes_per_col, block_bytes)
     arrays = {"values": values, "ref_values": ref_values}
-    return np.concatenate(_run_blocks(_spatial_block, blocks, context, arrays), axis=1)
+    return np.concatenate(
+        _run_blocks(_spatial_block, blocks, context, arrays, label="spatial"), axis=1
+    )
 
 
 def spatial_depth_cloud(
@@ -814,7 +841,9 @@ def _simplicial_profile(
     blocks = [(j, min(j + per, m)) for j in range(0, m, per)]
     worker = functools.partial(_simplicial_block, block_bytes=block_bytes)
     arrays = {"values": values, "ref_values": ref_values}
-    return np.concatenate(_run_blocks(worker, blocks, context, arrays), axis=1)
+    return np.concatenate(
+        _run_blocks(worker, blocks, context, arrays, label="simplicial"), axis=1
+    )
 
 
 # --------------------------------------------------------------------------- mahalanobis

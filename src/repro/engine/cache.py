@@ -26,6 +26,7 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.fda.basis.base import Basis
 from repro.fda.penalty import penalty_matrix
+from repro.telemetry import NULL_TELEMETRY
 from repro.utils.linalg import PSDSolver
 
 __all__ = ["CacheStats", "FactorizationCache"]
@@ -138,6 +139,8 @@ class FactorizationCache:
         Maximum number of entries kept *per artifact kind*.
     """
 
+    _KINDS = ("design", "penalty", "factorization", "hat")
+
     def __init__(self, maxsize: int = 256):
         if maxsize < 1:
             raise ValidationError(f"maxsize must be >= 1, got {maxsize}")
@@ -147,6 +150,24 @@ class FactorizationCache:
         self._solvers = _BoundedStore(self.maxsize)
         self._hats = _BoundedStore(self.maxsize)
         self.stats = CacheStats()
+        self.attach_telemetry(NULL_TELEMETRY)
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Bind per-kind hit/build counters into ``telemetry``'s registry.
+
+        The counters double the :class:`CacheStats` bookkeeping into
+        ``engine_cache_hits_total{kind}`` / ``engine_cache_builds_total{kind}``
+        so a scraped registry exposes the cache hit rate; with the null
+        default every bound counter is a shared no-op.
+        """
+        self._tel_hits = {
+            kind: telemetry.counter("engine_cache_hits_total", kind=kind)
+            for kind in self._KINDS
+        }
+        self._tel_builds = {
+            kind: telemetry.counter("engine_cache_builds_total", kind=kind)
+            for kind in self._KINDS
+        }
 
     # ------------------------------------------------------------------ artifacts
     def design(self, basis: Basis, points: np.ndarray) -> np.ndarray:
@@ -155,8 +176,10 @@ class FactorizationCache:
         cached = self._designs.get(key)
         if cached is not None:
             self.stats.design_hits += 1
+            self._tel_hits["design"].inc()
             return cached
         self.stats.design_builds += 1
+        self._tel_builds["design"].inc()
         design = basis.evaluate(points)
         self._designs.put(key, design)
         return design
@@ -167,8 +190,10 @@ class FactorizationCache:
         cached = self._penalties.get(key)
         if cached is not None:
             self.stats.penalty_hits += 1
+            self._tel_hits["penalty"].inc()
             return cached
         self.stats.penalty_builds += 1
+        self._tel_builds["penalty"].inc()
         matrix = penalty_matrix(basis, derivative=penalty_order)
         self._penalties.put(key, matrix)
         return matrix
@@ -181,12 +206,14 @@ class FactorizationCache:
         cached = self._solvers.get(key)
         if cached is not None:
             self.stats.factorization_hits += 1
+            self._tel_hits["factorization"].inc()
             return cached
         design = self.design(basis, points)
         normal = design.T @ design
         if smoothing > 0:
             normal = normal + smoothing * self.penalty(basis, penalty_order)
         self.stats.factorizations += 1
+        self._tel_builds["factorization"].inc()
         solver = PSDSolver(normal)
         self._solvers.put(key, solver)
         return solver
@@ -199,10 +226,12 @@ class FactorizationCache:
         cached = self._hats.get(key)
         if cached is not None:
             self.stats.hat_hits += 1
+            self._tel_hits["hat"].inc()
             return cached
         design = self.design(basis, points)
         solver = self.solver(basis, points, smoothing, penalty_order)
         self.stats.hat_builds += 1
+        self._tel_builds["hat"].inc()
         hat = design @ solver.solve(design.T)
         self._hats.put(key, hat)
         return hat

@@ -28,6 +28,7 @@ import numpy as np
 from repro.engine.cache import FactorizationCache
 from repro.engine.shared import SharedArrayPool, attach_arrays, detach_arrays
 from repro.exceptions import ValidationError
+from repro.telemetry import NULL_TELEMETRY, resolve_telemetry
 from repro.utils.random import spawn_random_states
 
 __all__ = ["ExecutionContext"]
@@ -78,6 +79,11 @@ class ExecutionContext:
         memory); see :class:`~repro.engine.shared.SharedArrayPool`.
     spill_dir:
         Directory for spill files (default: the system temp dir).
+    telemetry:
+        A :class:`~repro.telemetry.Telemetry` handle; every layer that
+        receives this context (cache, shared pool, depth kernels,
+        chunked executor) emits into its registry.  Defaults to the
+        no-op :data:`~repro.telemetry.NULL_TELEMETRY`.
     """
 
     def __init__(
@@ -86,6 +92,7 @@ class ExecutionContext:
         n_jobs: int = 1,
         spill_bytes: int | None = None,
         spill_dir=None,
+        telemetry=None,
     ):
         if cache is not None and not isinstance(cache, FactorizationCache):
             raise ValidationError(
@@ -95,6 +102,20 @@ class ExecutionContext:
         self.n_jobs = _resolve_n_jobs(n_jobs)
         self.spill_bytes = spill_bytes
         self.spill_dir = spill_dir
+        self.telemetry = NULL_TELEMETRY
+        self.attach_telemetry(resolve_telemetry(None, telemetry))
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Adopt ``telemetry`` (validated) and bind the cache's counters.
+
+        An enabled handle propagates to the shared cache so factorization
+        hits/builds emit into the same registry; attaching the null
+        default never clobbers a cache that is already instrumented.
+        """
+        telemetry = resolve_telemetry(None, telemetry)
+        self.telemetry = telemetry
+        if telemetry.enabled:
+            self.cache.attach_telemetry(telemetry)
 
     # ------------------------------------------------------------------ seeding
     def spawn_generators(self, random_state, n: int) -> list[np.random.Generator]:
@@ -178,7 +199,8 @@ class ExecutionContext:
         if len(groups) <= 1:
             return [worker(block, **arrays) for block in blocks]
         with SharedArrayPool(spill_bytes=self.spill_bytes,
-                             spill_dir=self.spill_dir) as pool:
+                             spill_dir=self.spill_dir,
+                             telemetry=self.telemetry) as pool:
             refs = pool.share(arrays)
             tasks = [(worker, refs, group) for group in groups]
             with ProcessPoolExecutor(max_workers=len(groups)) as executor:

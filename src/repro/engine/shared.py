@@ -45,6 +45,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.telemetry import NULL_TELEMETRY, resolve_telemetry
 
 __all__ = [
     "SharedArrayPool",
@@ -207,9 +208,14 @@ class SharedArrayPool:
         failing.
     spill_dir:
         Directory for spill files (default: the system temp dir).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`; placements,
+        spills and bytes are counted into its registry, and the
+        ``engine_pool_live_segments`` gauge tracks the leak registry.
     """
 
-    def __init__(self, spill_bytes: int | None = None, spill_dir=None):
+    def __init__(self, spill_bytes: int | None = None, spill_dir=None,
+                 telemetry=None):
         if spill_bytes is not None and (
             not isinstance(spill_bytes, (int, np.integer))
             or isinstance(spill_bytes, bool)
@@ -220,6 +226,7 @@ class SharedArrayPool:
             )
         self.spill_bytes = int(spill_bytes) if spill_bytes is not None else None
         self.spill_dir = spill_dir
+        self.telemetry = resolve_telemetry(None, telemetry)
         self._segments: list[shared_memory.SharedMemory] = []
         self._spill_paths: list[str] = []
         self._refs_by_id: dict[int, SharedArrayRef] = {}
@@ -262,6 +269,10 @@ class SharedArrayPool:
         self._segments.append(segment)
         view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
         view[...] = array
+        if self.telemetry.enabled:
+            self.telemetry.counter("engine_pool_placements_total").inc()
+            self.telemetry.counter("engine_pool_bytes_total").inc(array.nbytes)
+            self.telemetry.gauge("engine_pool_live_segments").set(len(_LIVE))
         return SharedArrayRef("shm", segment.name, tuple(array.shape), array.dtype.str)
 
     def _spill(self, array: np.ndarray) -> SharedArrayRef:
@@ -277,6 +288,10 @@ class SharedArrayPool:
             mm[...] = array
         mm.flush()
         del mm
+        if self.telemetry.enabled:
+            self.telemetry.counter("engine_pool_spills_total").inc()
+            self.telemetry.counter("engine_pool_bytes_total").inc(array.nbytes)
+            self.telemetry.gauge("engine_pool_live_segments").set(len(_LIVE))
         return SharedArrayRef("memmap", path, tuple(array.shape), array.dtype.str)
 
     # ------------------------------------------------------------------ cleanup
@@ -299,6 +314,8 @@ class SharedArrayPool:
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
             _LIVE.discard(path)
+        if self.telemetry.enabled:
+            self.telemetry.gauge("engine_pool_live_segments").set(len(_LIVE))
 
     def __enter__(self) -> "SharedArrayPool":
         return self

@@ -9,10 +9,10 @@ persisted perf trajectory — a JSON array of such records, one per
 benchmarked commit — in ``BENCH_depth_kernels.json``, so every future
 PR can be measured against this baseline.
 
-Record schema (``schema_version`` 2)::
+Record schema (``schema_version`` 3)::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "bench": "depth_kernels" | "depth_kernels_scaled",
       "git_sha": "<sha or 'unknown'>",
       "created_unix": <float>,
@@ -22,19 +22,23 @@ Record schema (``schema_version`` 2)::
       "results": [
         {"kernel": "funta", "p": 1, "gated": true,
          "naive_s": ..., "vectorized_s": ..., "pool_s": ... | null,
+         "p50_ms": ..., "p95_ms": ..., "p99_ms": ...,
          "speedup": ..., "parallel_speedup": ... | null},
         ...
       ]
     }
 
-Version 2 adds ``workload.cpu_count`` and per-row ``parallel_speedup``
+Version 2 added ``workload.cpu_count`` and per-row ``parallel_speedup``
 (vectorized / pooled wall time, null for serial runs), plus the
 ``depth_kernels_scaled`` flavour produced by
 :func:`run_scaled_depth_bench` — the 100k-curve scoring workload where
 the naive oracles are unaffordable, so rows carry only vectorized/pool
 timings (with pooled results still asserted bit-identical to serial).
-Readers fall back gracefully on version-1 records (missing keys read as
-null via ``.get``).
+Version 3 re-bases the timing loop on the telemetry layer's
+:class:`~repro.telemetry.metrics.Histogram` — every repeat lands in one
+histogram, so rows gain exact ``p50_ms``/``p95_ms``/``p99_ms`` tail
+fields alongside the best-of wall times.  Readers fall back gracefully
+on older records (missing keys read as null via ``.get``).
 
 ``gated`` marks the kernels whose speedup the CI smoke step asserts
 (vectorized must beat naive).
@@ -65,13 +69,15 @@ __all__ = [
     "run_scaled_depth_bench",
     "run_serving_http_bench",
     "run_streaming_bench",
+    "run_telemetry_overhead_bench",
     "append_bench_record",
     "format_bench_rows",
     "format_serving_http_rows",
     "format_streaming_rows",
+    "format_telemetry_overhead_rows",
 ]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 BENCH_FILENAME = "BENCH_depth_kernels.json"
 
 #: Kernels whose vectorized-vs-naive speedup the CI smoke step asserts.
@@ -126,13 +132,39 @@ def git_dirty(cwd=None) -> bool:
     return bool(out.stdout.strip())
 
 
-def _best_time(fn, repeats: int) -> float:
-    best = float("inf")
+def _time_histogram(fn, repeats: int):
+    """Time ``repeats`` calls of ``fn`` into one telemetry histogram.
+
+    The histogram's exact-sample reservoir holds every repeat, so its
+    percentiles are the exact order statistics of the timing samples
+    (NumPy linear-interpolation semantics) — the same machinery the
+    serving layer uses for request latency, reused as the bench timer.
+    """
+    from repro.telemetry.metrics import Histogram
+
+    hist = Histogram("bench_seconds", {})
+    _observe_times(fn, repeats, hist)
+    return hist
+
+
+def _observe_times(fn, repeats: int, hist) -> None:
     for _ in range(repeats):
         start = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - start)
-    return best
+        hist.observe(time.perf_counter() - start)
+
+
+def _tail_fields(hist) -> dict:
+    """``p50_ms``/``p95_ms``/``p99_ms`` record fields from a timing histogram."""
+    return {
+        "p50_ms": round(hist.percentile(50) * 1e3, 3),
+        "p95_ms": round(hist.percentile(95) * 1e3, 3),
+        "p99_ms": round(hist.percentile(99) * 1e3, 3),
+    }
+
+
+def _best_time(fn, repeats: int) -> float:
+    return _time_histogram(fn, repeats).min
 
 
 def run_depth_kernel_bench(
@@ -194,7 +226,8 @@ def run_depth_kernel_bench(
         vec_out = call()
         np.testing.assert_allclose(vec_out, naive_out, rtol=1e-10, atol=1e-12)
         naive_s = _best_time(lambda: call(naive=True), repeats)
-        vectorized_s = _best_time(lambda: call(), repeats)
+        vec_hist = _time_histogram(lambda: call(), repeats)
+        vectorized_s = vec_hist.min
         pool_s = None
         if context is not None:
             pool_out = call(context=context)
@@ -208,6 +241,7 @@ def run_depth_kernel_bench(
                 "naive_s": round(naive_s, 6),
                 "vectorized_s": round(vectorized_s, 6),
                 "pool_s": round(pool_s, 6) if pool_s is not None else None,
+                **_tail_fields(vec_hist),
                 "speedup": round(naive_s / max(vectorized_s, 1e-12), 2),
                 "parallel_speedup": (
                     round(vectorized_s / max(pool_s, 1e-12), 2)
@@ -296,11 +330,12 @@ def run_scaled_depth_bench(
         # At this scale every call is expensive, so the first (result-
         # producing) call doubles as one timing sample instead of a
         # warm-up: best-of over `repeats` samples total per path.
-        start = time.perf_counter()
-        vec_out = call()
-        vectorized_s = time.perf_counter() - start
+        out_holder = []
+        vec_hist = _time_histogram(lambda: out_holder.append(call()), 1)
+        vec_out = out_holder[0]
         if repeats > 1:
-            vectorized_s = min(vectorized_s, _best_time(lambda: call(), repeats - 1))
+            _observe_times(lambda: call(), repeats - 1, vec_hist)
+        vectorized_s = vec_hist.min
         pool_s = None
         if context is not None:
             start = time.perf_counter()
@@ -319,6 +354,7 @@ def run_scaled_depth_bench(
                 "naive_s": None,
                 "vectorized_s": round(vectorized_s, 6),
                 "pool_s": round(pool_s, 6) if pool_s is not None else None,
+                **_tail_fields(vec_hist),
                 "speedup": None,
                 "parallel_speedup": (
                     round(vectorized_s / max(pool_s, 1e-12), 2)
@@ -343,6 +379,138 @@ def run_scaled_depth_bench(
     }
 
 
+def run_telemetry_overhead_bench(
+    n: int = 200,
+    m: int = 100,
+    seed: int = 7,
+    repeats: int = 3,
+    quick: bool = True,
+    block_bytes: int | None = None,
+) -> dict:
+    """Time the gated depth kernels with telemetry disabled vs enabled.
+
+    Both sides run through an :class:`~repro.engine.ExecutionContext` —
+    one holding the default :data:`~repro.telemetry.NULL_TELEMETRY`, one
+    an enabled :class:`~repro.telemetry.Telemetry` — so the measured
+    difference is exactly the cost of live instruments on the hot path
+    (counter increments, histogram observes, span bookkeeping), not a
+    context-vs-no-context framing difference.  Each row asserts the two
+    outputs bit-identical: instrumentation must never perturb results.
+
+    The CI smoke gate asserts ``overhead_paired`` (the minimum
+    enabled/null ratio over back-to-back timing pairs) stays within a
+    small multiplicative bound on every gated kernel; ``overhead`` is
+    the conventional best-of ratio, recorded for the trajectory.
+    """
+    from repro.depth.funta import funta_outlyingness
+    from repro.depth.functional import pointwise_depth_profile
+    from repro.depth.dirout import dirout_scores
+    from repro.engine import ExecutionContext
+    from repro.fda.fdata import FDataGrid, MFDataGrid
+    from repro.telemetry import Telemetry
+
+    rng = np.random.default_rng(seed)
+    grid = np.linspace(0.0, 1.0, m)
+    curves = FDataGrid(rng.standard_normal((n, m)).cumsum(axis=1) / 5.0, grid)
+    mfd_p2 = MFDataGrid(rng.standard_normal((n, m, 2)), grid)
+    null_context = ExecutionContext()
+    live_context = ExecutionContext(telemetry=Telemetry())
+
+    cases = [
+        ("funta", 1,
+         lambda **kw: funta_outlyingness(curves, block_bytes=block_bytes, **kw)),
+        ("halfspace_p1", 1,
+         lambda **kw: pointwise_depth_profile(
+             curves.to_multivariate(), notion="halfspace",
+             block_bytes=block_bytes, **kw)),
+        ("halfspace_p2", 2,
+         lambda **kw: pointwise_depth_profile(
+             mfd_p2, notion="halfspace", random_state=seed,
+             block_bytes=block_bytes, **kw)),
+        ("spatial_p2", 2,
+         lambda **kw: pointwise_depth_profile(
+             mfd_p2, notion="spatial", block_bytes=block_bytes, **kw)),
+        ("projection_p2", 2,
+         lambda **kw: pointwise_depth_profile(
+             mfd_p2, notion="projection", random_state=seed,
+             block_bytes=block_bytes, **kw)),
+        ("dirout_p2", 2,
+         lambda **kw: dirout_scores(
+             mfd_p2, random_state=seed, block_bytes=block_bytes, **kw)),
+    ]
+
+    results = []
+    for kernel, p, call in cases:
+        null_out = call(context=null_context)
+        live_out = call(context=live_context)
+        np.testing.assert_allclose(live_out, null_out, rtol=0, atol=0)
+        # Time back-to-back (null, enabled) pairs: machine-level drift
+        # (thermal, frequency scaling, a neighbour process) then lands on
+        # both halves of a pair alike.  ``overhead_paired`` is the
+        # minimum per-pair ratio — a real instrument cost is systematic
+        # and shows in *every* pair, while a load spike only inflates
+        # some, so the min is the noise-robust gate statistic.
+        null_times: list[float] = []
+        live_times: list[float] = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            call(context=null_context)
+            null_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            call(context=live_context)
+            live_times.append(time.perf_counter() - start)
+        null_s = min(null_times)
+        enabled_s = min(live_times)
+        results.append(
+            {
+                "kernel": kernel,
+                "p": p,
+                "gated": kernel in GATED_KERNELS,
+                "null_s": round(null_s, 6),
+                "enabled_s": round(enabled_s, 6),
+                "overhead": round(enabled_s / max(null_s, 1e-12), 4),
+                "overhead_paired": round(
+                    min(l / max(n, 1e-12) for n, l in zip(null_times, live_times)),
+                    4,
+                ),
+            }
+        )
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "telemetry_overhead",
+        "git_sha": git_sha(),
+        "dirty": git_dirty(),
+        "created_unix": round(time.time(), 3),
+        "quick": bool(quick),
+        "workload": {
+            "n": n, "m": m, "seed": seed, "repeats": repeats,
+            "gated_kernels": list(GATED_KERNELS),
+        },
+        "results": results,
+    }
+
+
+def format_telemetry_overhead_rows(record: dict) -> tuple[list[str], list[list[str]]]:
+    """Table headers + rows for a telemetry-overhead bench record."""
+    headers = ["kernel", "p", "gated", "null ms", "enabled ms", "overhead", "paired"]
+    rows = []
+    for r in record["results"]:
+        paired = r.get("overhead_paired")
+        rows.append(
+            [
+                r["kernel"],
+                str(r["p"]),
+                "yes" if r["gated"] else "no",
+                f"{r['null_s'] * 1e3:,.1f}",
+                f"{r['enabled_s'] * 1e3:,.1f}",
+                f"{r['overhead']:.3f}x",
+                f"{paired:.3f}x" if paired is not None else "-",
+            ]
+        )
+    return headers, rows
+
+
 def format_bench_rows(record: dict) -> tuple[list[str], list[list[str]]]:
     """Table headers + rows for a bench record (shared by CLI and bench).
 
@@ -354,7 +522,10 @@ def format_bench_rows(record: dict) -> tuple[list[str], list[list[str]]]:
     """
     results = record["results"]
     with_pool = any(r.get("pool_s") is not None for r in results)
+    with_tails = any(r.get("p95_ms") is not None for r in results)
     headers = ["kernel", "p", "gated", "naive ms", "vectorized ms"]
+    if with_tails:
+        headers += ["p50 ms", "p95 ms", "p99 ms"]
     if with_pool:
         headers.append("pool ms")
     headers.append("speedup")
@@ -371,6 +542,10 @@ def format_bench_rows(record: dict) -> tuple[list[str], list[list[str]]]:
             f"{naive_s * 1e3:,.1f}" if naive_s is not None else "-",
             f"{r['vectorized_s'] * 1e3:,.1f}",
         ]
+        if with_tails:
+            for key in ("p50_ms", "p95_ms", "p99_ms"):
+                tail = r.get(key)
+                row.append(f"{tail:,.1f}" if tail is not None else "-")
         if with_pool:
             pool_s = r.get("pool_s")
             row.append(f"{pool_s * 1e3:,.1f}" if pool_s is not None else "-")
@@ -422,9 +597,11 @@ def append_bench_record(path, record: dict) -> list:
 STREAM_BENCH_FILENAME = "BENCH_streaming.json"
 
 #: Streaming-record schema: v3 added the sharded tier (``shards`` on every
-#: result row, ``shard_speedup`` + chunked-baseline timings on sharded rows).
-#: ``format_streaming_rows`` still renders v1/v2 records (no shard fields).
-STREAM_SCHEMA_VERSION = 3
+#: result row, ``shard_speedup`` + chunked-baseline timings on sharded rows);
+#: v4 re-bases the timing loop on the telemetry histogram, adding exact
+#: ``p50_ms``/``p95_ms``/``p99_ms`` tail fields per row.
+#: ``format_streaming_rows`` still renders v1–v3 records (no tail fields).
+STREAM_SCHEMA_VERSION = 4
 
 #: Streaming cases whose incremental-vs-refit speedup the CI gate asserts.
 GATED_STREAM_CASES = ("funta_p1", "funta_p2", "dirout_p1", "halfspace_p1")
@@ -510,7 +687,8 @@ def run_streaming_bench(
         np.testing.assert_allclose(
             incremental_scores, naive_scores, rtol=1e-12, atol=0.0
         )
-        incremental_s = _best_time(lambda: run(True), repeats)
+        inc_hist = _time_histogram(lambda: run(True), repeats)
+        incremental_s = inc_hist.min
         naive_s = _best_time(lambda: run(False), repeats)
         results.append(
             {
@@ -521,6 +699,7 @@ def run_streaming_bench(
                 "shards": 1,
                 "naive_s": round(naive_s, 6),
                 "incremental_s": round(incremental_s, 6),
+                **_tail_fields(inc_hist),
                 "curves_per_s": round(arrivals / max(incremental_s, 1e-12), 1),
                 "speedup": round(naive_s / max(incremental_s, 1e-12), 2),
             }
@@ -582,7 +761,8 @@ def run_streaming_bench(
                 sharded_scores, single_scores, rtol=1e-12, atol=0.0
             )
             single_s = _best_time(run_single, repeats)
-            sharded_s = _best_time(run_sharded, repeats)
+            shard_hist = _time_histogram(run_sharded, repeats)
+            sharded_s = shard_hist.min
             total = n_chunks * chunk
             results.append(
                 {
@@ -594,6 +774,7 @@ def run_streaming_bench(
                     "arrivals": total,
                     "naive_s": round(single_s, 6),
                     "incremental_s": round(sharded_s, 6),
+                    **_tail_fields(shard_hist),
                     "curves_per_s": round(total / max(sharded_s, 1e-12), 1),
                     "speedup": round(single_s / max(sharded_s, 1e-12), 2),
                     "shard_speedup": round(single_s / max(sharded_s, 1e-12), 2),
@@ -626,16 +807,20 @@ def format_streaming_rows(record: dict) -> tuple[list[str], list[list[str]]]:
     tolerance of ``format_bench_rows`` for ``BENCH_depth_kernels``).
     On sharded rows (v3) the baseline column is the *single-stream*
     chunked detector rather than a refit-from-scratch one, and
-    ``speedup`` is the shard speedup.
+    ``speedup`` is the shard speedup.  v4 rows carry per-run
+    ``p50_ms``/``p95_ms``/``p99_ms`` tails; older rows render ``-``.
     """
     version = int(record.get("schema_version", 1))
     sharded_record = version >= 3 and any(
         r.get("shards", 1) > 1 for r in record["results"]
     )
+    with_tails = any(r.get("p95_ms") is not None for r in record["results"])
     headers = [
         "case", "p", "gated", "refit ms/curve", "incremental ms/curve",
         "curves/s", "speedup",
     ]
+    if with_tails:
+        headers += ["p95 ms", "p99 ms"]
     if sharded_record:
         headers = headers + ["shards"]
     default_arrivals = record["workload"]["arrivals"]
@@ -651,6 +836,10 @@ def format_streaming_rows(record: dict) -> tuple[list[str], list[list[str]]]:
             f"{r['curves_per_s']:,.0f}",
             f"{r['speedup']:.1f}x",
         ]
+        if with_tails:
+            for key in ("p95_ms", "p99_ms"):
+                tail = r.get(key)
+                row.append(f"{tail:,.1f}" if tail is not None else "-")
         if sharded_record:
             row.append(str(r.get("shards", 1)))
         rows.append(row)
@@ -770,6 +959,7 @@ def run_serving_http_bench(
     from repro.data import make_ecg_dataset, square_augment
     from repro.serving.persist import save_pipeline
     from repro.serving.server import ScoringServer, load_service
+    from repro.telemetry.metrics import Histogram
 
     pipeline, train = _fit_fig3_pipeline(seed)
 
@@ -837,8 +1027,12 @@ def run_serving_http_bench(
                 await server.close()
 
             done = len(latencies)
-            lat_ms = np.asarray(latencies) * 1e3
-            p50, p95, p99 = np.percentile(lat_ms, [50, 95, 99])
+            # Same Histogram type the serving layer exposes on /metrics;
+            # its exact-sample reservoir makes these the exact order
+            # statistics of the latency samples.
+            lat_hist = Histogram("serving_request_seconds", {})
+            for sample in latencies:
+                lat_hist.observe(sample)
             return {
                 "phase": "sustained",
                 "requests": done,
@@ -846,9 +1040,7 @@ def run_serving_http_bench(
                 "shed": 0,
                 "errors": bad[:5],
                 "curves_per_s": round(done * batch_curves / max(elapsed, 1e-9), 1),
-                "p50_ms": round(float(p50), 3),
-                "p95_ms": round(float(p95), 3),
-                "p99_ms": round(float(p99), 3),
+                **_tail_fields(lat_hist),
                 "flushes": server.service.stats()["flushes"],
             }
 

@@ -329,6 +329,7 @@ def compile_plan(
     spec,
     workload: WorkloadSpec | None = None,
     context: ExecutionContext | None = None,
+    telemetry=None,
 ) -> ScoringPlan:
     """Lower ``spec`` (+ optional workload descriptor) into a ScoringPlan.
 
@@ -337,6 +338,11 @@ def compile_plan(
     batch mode for pipeline/method specs and stream mode for stream
     specs.  ``context`` attaches the plan to a shared execution context;
     a private one sized by ``workload.n_jobs`` is created when omitted.
+    ``telemetry`` threads a :class:`~repro.telemetry.Telemetry` handle
+    through that context, so everything the plan executes — cache,
+    kernels, chunked runs, streaming detectors — emits into one
+    registry; attaching to a caller-provided context only upgrades it
+    (an already-enabled handle is never replaced by this argument).
     """
     if isinstance(spec, Mapping):
         spec = spec_from_dict(spec)
@@ -356,11 +362,13 @@ def compile_plan(
                 f"workload must be a WorkloadSpec or dict, got {type(workload).__name__}"
             )
     if context is None:
-        context = ExecutionContext(n_jobs=workload.n_jobs)
+        context = ExecutionContext(n_jobs=workload.n_jobs, telemetry=telemetry)
     elif not isinstance(context, ExecutionContext):
         raise ConfigurationError(
             f"context must be an ExecutionContext, got {type(context).__name__}"
         )
+    elif telemetry is not None and not context.telemetry.enabled:
+        context.attach_telemetry(telemetry)
     return plan_cls(spec, workload, context)
 
 

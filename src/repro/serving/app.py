@@ -24,6 +24,10 @@ Requests and responses are JSON.  A scoring request body is::
 * ``GET /healthz`` — liveness + the registered pipeline names.
 * ``GET /stats``   — service counters (queue depth, flushes, cache
   hits) plus the front door's own accept/shed/latency counters.
+* ``GET /metrics`` — the service telemetry registry in the Prometheus
+  text exposition format (queue depth, shed count, per-route latency
+  histograms, cache hit rate, kernel timings — every metric in
+  :data:`repro.telemetry.CATALOGUE` that traffic has touched).
 
 Pipelines are addressable by their registered *name* or by their
 declarative **spec hash** (:func:`repro.plan.spec_hash` of the
@@ -35,14 +39,13 @@ across a fleet of workers without coordinating name assignments.
 from __future__ import annotations
 
 import json
-import threading
 
 import numpy as np
 
 from repro.exceptions import ReproError, ValidationError
 from repro.fda.fdata import MFDataGrid
 
-__all__ = ["JsonResponse", "ServingApp"]
+__all__ = ["JsonResponse", "ServingApp", "TextResponse"]
 
 
 class JsonResponse:
@@ -54,6 +57,19 @@ class JsonResponse:
         self.status = status
         self.body = body
         self.headers = headers or {}
+
+
+class TextResponse:
+    """Status + plain-text body (the ``/metrics`` exposition format)."""
+
+    __slots__ = ("status", "body", "headers", "content_type")
+
+    def __init__(self, status: int, body: str, headers: dict | None = None,
+                 content_type: str = "text/plain; version=0.0.4; charset=utf-8"):
+        self.status = status
+        self.body = body
+        self.headers = headers or {}
+        self.content_type = content_type
 
 
 def _parse_batch(doc: dict) -> MFDataGrid:
@@ -105,11 +121,22 @@ class ServingApp:
         self.service = service
         self.high_water = int(high_water)
         self.retry_after = float(retry_after)
-        self._lock = threading.Lock()
-        self.accepted_requests = 0
-        self.shed_requests = 0
+        # The front door's own counters live in the service's telemetry
+        # registry, so one /metrics scrape covers transport + service +
+        # every instrumented layer beneath them.
+        self.telemetry = service.telemetry
+        self._c_accepted = self.telemetry.counter("serving_accepted_requests_total")
+        self._c_shed = self.telemetry.counter("serving_shed_requests_total")
         # name -> name plus spec-hash -> name aliases, rebuilt on demand.
         self._routes: dict[str, str] = {}
+
+    @property
+    def accepted_requests(self) -> int:
+        return self._c_accepted.value
+
+    @property
+    def shed_requests(self) -> int:
+        return self._c_shed.value
 
     # ------------------------------------------------------------------ routing
     def routes(self) -> dict[str, str]:
@@ -141,20 +168,54 @@ class ServingApp:
             f"loaded: {self.service.names()}"
         )
 
+    def pipeline_label(self, name: str | None) -> str:
+        """The metric label for a pipeline: its spec hash when it has one.
+
+        Keying the per-route latency series by spec hash (the stable
+        routing key) instead of the worker-local registration name means
+        histograms from a fleet of workers serving the same model
+        configuration aggregate, whatever each worker called it.
+        """
+        if not name:
+            return "-"
+        if name not in self._routes:
+            self.routes()  # refresh aliases for late registrations
+        for key, target in self._routes.items():
+            if target == name and key != name:
+                return key
+        return name
+
+    _ROUTES = ("/score", "/submit", "/healthz", "/stats", "/metrics")
+
+    def observe_request(self, route: str, pipeline: str | None, seconds: float) -> None:
+        """Record one end-to-end request into the latency histogram.
+
+        Unknown paths collapse into one ``other`` series so a port scan
+        cannot grow the label space without bound.
+        """
+        if route not in self._ROUTES:
+            route = "other"
+        self.telemetry.histogram(
+            "serving_request_seconds",
+            route=route, pipeline=self.pipeline_label(pipeline),
+        ).observe(seconds)
+
     # ------------------------------------------------------------------ routes
     def healthz(self) -> JsonResponse:
         return JsonResponse(200, {"status": "ok", "pipelines": self.service.names()})
 
     def stats(self) -> JsonResponse:
-        with self._lock:
-            accepted, shed = self.accepted_requests, self.shed_requests
         body = self.service.stats()
         body["http"] = {
-            "accepted_requests": accepted,
-            "shed_requests": shed,
+            "accepted_requests": self._c_accepted.value,
+            "shed_requests": self._c_shed.value,
             "high_water": self.high_water,
         }
         return JsonResponse(200, body)
+
+    def metrics(self) -> TextResponse:
+        """``GET /metrics``: the shared registry as Prometheus text."""
+        return TextResponse(200, self.telemetry.to_prometheus())
 
     def _parse_scoring_request(self, body: bytes) -> tuple[str, MFDataGrid]:
         try:
@@ -174,8 +235,7 @@ class ServingApp:
         """Immediate scoring — no queue, no backpressure beyond the socket."""
         name, mfd = self._parse_scoring_request(body)
         scores = self.service.score(name, mfd)
-        with self._lock:
-            self.accepted_requests += 1
+        self._c_accepted.inc()
         return JsonResponse(200, {"pipeline": name, "scores": scores.tolist()})
 
     def try_submit(self, body: bytes):
@@ -191,8 +251,7 @@ class ServingApp:
         """
         name, mfd = self._parse_scoring_request(body)
         if self.service.outstanding_curves() + mfd.n_samples > self.high_water:
-            with self._lock:
-                self.shed_requests += 1
+            self._c_shed.inc()
             return JsonResponse(
                 429,
                 {
@@ -203,8 +262,7 @@ class ServingApp:
                 headers={"Retry-After": f"{self.retry_after:g}"},
             )
         ticket = self.service.submit(name, mfd, auto_flush=False)
-        with self._lock:
-            self.accepted_requests += 1
+        self._c_accepted.inc()
         return ticket
 
     def ticket_response(self, ticket) -> JsonResponse:

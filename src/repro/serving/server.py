@@ -39,12 +39,13 @@ import json
 import signal
 import socket
 import sys
+import time
 import urllib.error
 import urllib.request
 from pathlib import Path
 
 from repro.exceptions import ReproError, ValidationError
-from repro.serving.app import JsonResponse, ServingApp
+from repro.serving.app import JsonResponse, ServingApp, TextResponse
 from repro.serving.service import ScoringService
 
 __all__ = ["ScoringServer", "serve", "load_service"]
@@ -77,12 +78,17 @@ def load_service(
     return service
 
 
-def _encode_response(resp: JsonResponse) -> bytes:
-    body = json.dumps(resp.body).encode("utf-8")
+def _encode_response(resp) -> bytes:
+    if isinstance(resp, TextResponse):
+        body = resp.body.encode("utf-8")
+        content_type = resp.content_type
+    else:
+        body = json.dumps(resp.body).encode("utf-8")
+        content_type = "application/json"
     reason = _REASONS.get(resp.status, "Unknown")
     head = [
         f"HTTP/1.1 {resp.status} {reason}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         "Connection: keep-alive",
     ]
@@ -229,7 +235,10 @@ class ScoringServer:
             except asyncio.TimeoutError:
                 pass
             self._flush_wakeup.clear()
-            if self.service.stats()["pending_requests"]:
+            # queue_depth() is the registry's queue gauge — the same
+            # value the dispatch wakeup below and /metrics read, so the
+            # three can never disagree about whether work is pending.
+            if self.service.queue_depth():
                 await self._do_flush()
 
     # ------------------------------------------------------------------ dispatch
@@ -239,6 +248,9 @@ class ScoringServer:
             return self.app.healthz()
         if path == "/stats" and method == "GET":
             return self.app.stats()
+        if path == "/metrics" and method == "GET":
+            # Rendering walks every instrument — keep it off the loop.
+            return await loop.run_in_executor(None, self.app.metrics)
         if path == "/score" and method == "POST":
             # CPU-bound: run the parse+score off the event loop.
             return await loop.run_in_executor(None, self.app.score, body)
@@ -254,11 +266,11 @@ class ScoringServer:
             # future now or it would wait for a flush that never comes.
             if ticket.done and not future.done():
                 future.set_result(None)
-            if self.service.stats()["pending_curves"] >= self.service.max_pending:
+            if self.service.queue_depth() >= self.service.max_pending:
                 self._flush_wakeup.set()
             await future
             return self.app.ticket_response(ticket)
-        if path in ("/score", "/submit", "/healthz", "/stats"):
+        if path in ("/score", "/submit", "/healthz", "/stats", "/metrics"):
             return JsonResponse(405, {"error": f"{method} not allowed on {path}"})
         return JsonResponse(404, {"error": f"no route {path!r}"})
 
@@ -278,6 +290,13 @@ class ScoringServer:
                 if request is None:
                     break
                 method, path, body = request
+                # A *detached* span: handler coroutines interleave on
+                # the event loop, so a thread-local span stack would
+                # cross-link concurrent requests' trees.
+                span = self.service.telemetry.start_span(
+                    "http_request", method=method, route=path
+                )
+                start = time.perf_counter()
                 try:
                     response = await self._dispatch(method, path, body)
                 except ValidationError as exc:
@@ -287,6 +306,16 @@ class ScoringServer:
                     response = JsonResponse(422, {"error": f"{type(exc).__name__}: {exc}"})
                 except Exception as exc:  # pragma: no cover - defensive
                     response = JsonResponse(500, {"error": f"{type(exc).__name__}: {exc}"})
+                elapsed = time.perf_counter() - start
+                span.set(status=response.status)
+                span.end()
+                if span.trace_id is not None:
+                    response.headers.setdefault("X-Trace-Id", span.trace_id)
+                pipeline = (
+                    response.body.get("pipeline")
+                    if isinstance(response.body, dict) else None
+                )
+                self.app.observe_request(path, pipeline, elapsed)
                 writer.write(_encode_response(response))
                 await writer.drain()
         except (ConnectionError, asyncio.CancelledError):

@@ -32,6 +32,7 @@ reference streams.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Iterator
 
 import numpy as np
@@ -47,6 +48,7 @@ from repro.plan.executor import iter_curve_chunks, run_chunked
 from repro.serving.persist import load_pipeline
 from repro.streaming.online import StreamBatchResult, StreamingDetector
 from repro.streaming.sharded import ShardedStreamingDetector
+from repro.telemetry import DEFAULT_SIZE_BUCKETS, Telemetry, resolve_telemetry
 from repro.utils.validation import check_int
 
 __all__ = [
@@ -263,15 +265,43 @@ class ScoringService:
         Auto-flush threshold: :meth:`submit` triggers a :meth:`flush` as
         soon as the queued curve count reaches this bound, keeping queue
         memory (and tail latency) bounded under sustained traffic.
+    telemetry:
+        A :class:`~repro.telemetry.Telemetry` handle to emit into.  The
+        service's counters *are* registry instruments (``stats()`` is a
+        view over them), so the service always holds an **enabled**
+        handle: explicitly passed > the context's (when enabled) > a
+        fresh private one.  Pass a shared handle to aggregate several
+        services (or the HTTP front door) into one ``/metrics`` surface.
     """
 
-    def __init__(self, context: ExecutionContext | None = None, max_pending: int = 1024):
+    def __init__(self, context: ExecutionContext | None = None, max_pending: int = 1024,
+                 telemetry=None):
         if context is not None and not isinstance(context, ExecutionContext):
             raise ValidationError(
                 f"context must be an ExecutionContext, got {type(context).__name__}"
             )
         self.context = context if context is not None else ExecutionContext()
         self.max_pending = check_int(max_pending, "max_pending", minimum=1)
+        telemetry = resolve_telemetry(None, telemetry)  # validates the type
+        if not telemetry.enabled:
+            context_tel = getattr(self.context, "telemetry", None)
+            telemetry = (
+                context_tel if context_tel is not None and context_tel.enabled
+                else Telemetry()
+            )
+        self.telemetry = telemetry
+        if not self.context.telemetry.enabled:
+            self.context.attach_telemetry(telemetry)
+        self._c_served_curves = telemetry.counter("serving_served_curves_total")
+        self._c_served_requests = telemetry.counter("serving_served_requests_total")
+        self._c_failed_requests = telemetry.counter("serving_failed_requests_total")
+        self._c_flushes = telemetry.counter("serving_flushes_total")
+        self._g_queue_depth = telemetry.gauge("serving_queue_depth_curves")
+        self._g_inflight = telemetry.gauge("serving_inflight_curves")
+        self._h_flush_curves = telemetry.histogram(
+            "serving_flush_curves", buckets=DEFAULT_SIZE_BUCKETS
+        )
+        self._h_flush_seconds = telemetry.histogram("serving_flush_seconds")
         self._pipelines: dict[str, GeometricOutlierPipeline] = {}
         self._queue: list[tuple[tuple, MFDataGrid, ScoreTicket]] = []
         # One lock guards the queue and every counter: submit/flush are
@@ -279,14 +309,37 @@ class ScoringService:
         # and its background flusher, and unguarded `+=`/list-swap races
         # were exactly the stats-drift and dropped-ticket bugs this
         # layer used to have.  Scoring itself runs outside the lock, so
-        # a long flush never blocks enqueueing.
+        # a long flush never blocks enqueueing.  The registry gauges
+        # mirror the lock-guarded ints, so readers (`queue_depth`,
+        # `/metrics`) never have to take this lock.
         self._lock = threading.Lock()
         self._pending_curves = 0
         self._inflight_curves = 0
-        self.served_curves = 0
-        self.served_requests = 0
-        self.failed_requests = 0
-        self.flushes = 0
+
+    # Counter attributes are registry views so external monitoring keeps
+    # its pre-telemetry accessors (`service.served_curves` etc.).
+    @property
+    def served_curves(self) -> int:
+        return self._c_served_curves.value
+
+    @property
+    def served_requests(self) -> int:
+        return self._c_served_requests.value
+
+    @property
+    def failed_requests(self) -> int:
+        return self._c_failed_requests.value
+
+    @property
+    def flushes(self) -> int:
+        return self._c_flushes.value
+
+    def queue_depth(self) -> int:
+        """Curves in the micro-batch queue — the single queue-depth
+        definition (the ``serving_queue_depth_curves`` gauge) that the
+        HTTP front door's flush loop and dispatch backpressure both read.
+        """
+        return int(self._g_queue_depth.value)
 
     # ------------------------------------------------------------------ registry
     def register(self, name: str, pipeline) -> None:
@@ -306,6 +359,10 @@ class ScoringService:
         if isinstance(pipeline, (DepthScorer, StreamingDetector, ShardedStreamingDetector)):
             if pipeline.context is None:
                 pipeline.context = self.context
+            elif not pipeline.context.telemetry.enabled:
+                pipeline.context.attach_telemetry(self.telemetry)
+            if hasattr(pipeline, "attach_telemetry"):
+                pipeline.attach_telemetry(self.telemetry)
             self._pipelines[name] = pipeline
             return
         if not isinstance(pipeline, GeometricOutlierPipeline):
@@ -315,6 +372,9 @@ class ScoringService:
             )
         if not pipeline._fitted:
             raise NotFittedError("cannot register an unfitted pipeline")
+        ctx = getattr(pipeline, "context", None)
+        if isinstance(ctx, ExecutionContext) and not ctx.telemetry.enabled:
+            ctx.attach_telemetry(self.telemetry)
         self._pipelines[name] = pipeline
 
     def load(self, name: str, path) -> GeometricOutlierPipeline:
@@ -344,9 +404,8 @@ class ScoringService:
         """Score one batch immediately (bypassing the queue)."""
         mfd = as_mfd(data)
         scores = self._pipeline(name).score_samples(mfd)
-        with self._lock:
-            self.served_curves += mfd.n_samples
-            self.served_requests += 1
+        self._c_served_curves.inc(mfd.n_samples)
+        self._c_served_requests.inc()
         return scores
 
     def submit(self, name: str, data, auto_flush: bool = True) -> ScoreTicket:
@@ -371,6 +430,7 @@ class ScoringService:
         with self._lock:
             self._queue.append((group_key, mfd, ticket))
             self._pending_curves += mfd.n_samples
+            self._g_queue_depth.set(self._pending_curves)
             should_flush = auto_flush and self._pending_curves >= self.max_pending
         if should_flush:
             self.flush()
@@ -398,9 +458,13 @@ class ScoringService:
         with self._lock:
             queue, self._queue = self._queue, []
             self._pending_curves = 0
+            self._g_queue_depth.set(0)
             if not queue:
                 return 0
-            self._inflight_curves += sum(mfd.n_samples for _, mfd, _ in queue)
+            drained_curves = sum(mfd.n_samples for _, mfd, _ in queue)
+            self._inflight_curves += drained_curves
+            self._g_inflight.set(self._inflight_curves)
+        start = time.perf_counter()
         served_curves = 0
         served_requests = 0
         failed_requests = 0
@@ -446,18 +510,20 @@ class ScoringService:
             raise
         finally:
             with self._lock:
-                self._inflight_curves -= sum(mfd.n_samples for _, mfd, _ in queue)
-                self.served_curves += served_curves
-                self.served_requests += served_requests
-                self.failed_requests += failed_requests
-                self.flushes += 1
+                self._inflight_curves -= drained_curves
+                self._g_inflight.set(self._inflight_curves)
+            self._c_served_curves.inc(served_curves)
+            self._c_served_requests.inc(served_requests)
+            self._c_failed_requests.inc(failed_requests)
+            self._c_flushes.inc()
+            self._h_flush_curves.observe(drained_curves)
+            self._h_flush_seconds.observe(time.perf_counter() - start)
         return len(queue)
 
     def _count_traffic(self, chunk, _result) -> None:
         """`run_chunked` observe hook: fold one served chunk into the stats."""
-        with self._lock:
-            self.served_curves += chunk.n_samples
-            self.served_requests += 1
+        self._c_served_curves.inc(chunk.n_samples)
+        self._c_served_requests.inc()
 
     def stream(self, name: str, data, chunk_size: int = 256) -> Iterator[StreamBatchResult]:
         """Online route: feed chunks through streaming detector ``name``.
@@ -476,7 +542,8 @@ class ScoringService:
                 "variant); use score_stream() for fixed-reference chunked scoring"
             )
         return run_chunked(
-            detector.process, data, chunk_size=chunk_size, observe=self._count_traffic
+            detector.process, data, chunk_size=chunk_size,
+            observe=self._count_traffic, telemetry=self.telemetry,
         )
 
     def score_stream(self, name: str, data, chunk_size: int = 256) -> Iterator[np.ndarray]:
@@ -498,29 +565,33 @@ class ScoringService:
                 return result.scores
 
             return run_chunked(
-                online_scores, data, chunk_size=chunk_size, observe=self._count_traffic
+                online_scores, data, chunk_size=chunk_size,
+                observe=self._count_traffic, telemetry=self.telemetry,
             )
         return run_chunked(
-            pipeline.score_samples, data, chunk_size=chunk_size, observe=self._count_traffic
+            pipeline.score_samples, data, chunk_size=chunk_size,
+            observe=self._count_traffic, telemetry=self.telemetry,
         )
 
     # ------------------------------------------------------------------ stats
     def stats(self) -> dict:
         """Service counters plus the shared cache's hit/build counters.
 
-        ``pending_curves`` counts curves still queued;
-        ``inflight_curves`` counts curves swapped out by a flush that
-        has not resolved yet — their sum is the service's outstanding
-        work, which the HTTP front door compares against its high-water
-        mark to decide load shedding.
+        A *view over the telemetry registry*: every counter here is read
+        from the same instrument the ``/metrics`` surface exports, so
+        the two can never disagree.  ``pending_curves`` counts curves
+        still queued; ``inflight_curves`` counts curves swapped out by a
+        flush that has not resolved yet — their sum is the service's
+        outstanding work, which the HTTP front door compares against its
+        high-water mark to decide load shedding.
         """
         with self._lock:
             return {
                 "pipelines": len(self._pipelines),
-                "served_curves": self.served_curves,
-                "served_requests": self.served_requests,
-                "failed_requests": self.failed_requests,
-                "flushes": self.flushes,
+                "served_curves": self._c_served_curves.value,
+                "served_requests": self._c_served_requests.value,
+                "failed_requests": self._c_failed_requests.value,
+                "flushes": self._c_flushes.value,
                 "pending_requests": len(self._queue),
                 "pending_curves": self._pending_curves,
                 "inflight_curves": self._inflight_curves,

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.telemetry import NULL_TELEMETRY, resolve_telemetry
 from repro.utils.validation import as_float_array, check_in_range, check_int
 
 __all__ = ["DriftEvent", "ks_two_sample", "DepthRankDrift", "FederatedDrift"]
@@ -123,6 +124,13 @@ class DepthRankDrift:
         self.n_seen = 0
         self.n_checks = 0
         self.events: list[DriftEvent] = []
+        self.attach_telemetry(NULL_TELEMETRY)
+
+    def attach_telemetry(self, telemetry, kind: str = "-") -> None:
+        """Bind the drift check/event counters, labelled by detector kind."""
+        telemetry = resolve_telemetry(None, telemetry)
+        self._m_checks = telemetry.counter("streaming_drift_checks_total", kind=kind)
+        self._m_events = telemetry.counter("streaming_drift_events_total", kind=kind)
 
     # ------------------------------------------------------------------ state
     @property
@@ -179,6 +187,7 @@ class DepthRankDrift:
     def _check(self) -> DriftEvent | None:
         self._since_check = 0
         self.n_checks += 1
+        self._m_checks.inc()
         statistic = ks_two_sample(self._baseline, self._recent)
         self._last_statistic = statistic
         critical = ks_critical_value(self.baseline_size, self.recent_size, self.alpha)
@@ -196,6 +205,7 @@ class DepthRankDrift:
             recent_size=self.recent_size,
         )
         self.events.append(event)
+        self._m_events.inc()
         self.rebase()
         return event
 
@@ -279,6 +289,13 @@ class FederatedDrift:
         self.n_seen = 0
         self.n_checks = 0
         self.events: list[DriftEvent] = []
+        self.attach_telemetry(NULL_TELEMETRY)
+
+    def attach_telemetry(self, telemetry, kind: str = "-") -> None:
+        """Bind the drift check/event counters, labelled by detector kind."""
+        telemetry = resolve_telemetry(None, telemetry)
+        self._m_checks = telemetry.counter("streaming_drift_checks_total", kind=kind)
+        self._m_events = telemetry.counter("streaming_drift_events_total", kind=kind)
 
     # ------------------------------------------------------------------ state
     @property
@@ -343,6 +360,7 @@ class FederatedDrift:
     def _check(self) -> DriftEvent | None:
         self._since_check = 0
         self.n_checks += 1
+        self._m_checks.inc()
         # Per-shard diagnostics: which substream moved.
         self.shard_statistics = [
             ks_two_sample(self._baseline[i], self._recent[i])
@@ -370,6 +388,7 @@ class FederatedDrift:
             recent_size=self.recent_size,
         )
         self.events.append(event)
+        self._m_events.inc()
         self.rebase()
         return event
 

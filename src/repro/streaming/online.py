@@ -50,6 +50,7 @@ configurations transparently use the refit path with a fixed
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -64,6 +65,7 @@ from repro.exceptions import NotFittedError, ValidationError
 from repro.fda.fdata import MFDataGrid, as_mfd
 from repro.streaming.drift import DepthRankDrift, DriftEvent
 from repro.streaming.window import ReferenceWindow, WindowUpdate
+from repro.telemetry import resolve_telemetry
 from repro.utils.linalg import (
     CholeskyDowndateError,
     cholesky_downdate,
@@ -739,6 +741,30 @@ class StreamingDetector:
         self.n_scored = 0
         self.n_flagged = 0
         self.n_rereferences = 0
+        self.attach_telemetry(resolve_telemetry(context))
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Bind this detector's counters/histograms into ``telemetry``.
+
+        Called with the owning context's handle at construction and
+        again by :meth:`ScoringService.register`, so a detector served
+        through a service emits into the service's registry.  The drift
+        monitor (if any) is re-bound alongside, labelled by this
+        detector's kind.
+        """
+        telemetry = resolve_telemetry(None, telemetry)
+        self.telemetry = telemetry
+        self._m_arrivals = telemetry.counter("streaming_arrivals_total", kind=self.kind)
+        self._m_scored = telemetry.counter("streaming_scored_total", kind=self.kind)
+        self._m_flagged = telemetry.counter("streaming_flagged_total", kind=self.kind)
+        self._m_rereferences = telemetry.counter(
+            "streaming_rereferences_total", kind=self.kind
+        )
+        self._m_process_seconds = telemetry.histogram(
+            "streaming_process_seconds", kind=self.kind
+        )
+        if self.drift is not None:
+            self.drift.attach_telemetry(telemetry, kind=self.kind)
 
     # ------------------------------------------------------------------ specs
     @classmethod
@@ -855,6 +881,7 @@ class StreamingDetector:
         if self.threshold is not None and hasattr(self.threshold, "reset"):
             self.threshold.reset()
         self.n_rereferences += 1
+        self._m_rereferences.inc()
 
     # ------------------------------------------------------------------ API
     def prime(self, reference) -> "StreamingDetector":
@@ -862,6 +889,7 @@ class StreamingDetector:
         mfd = self._coerce(reference)
         self._ingest(self._featurize(mfd))
         self.n_seen += mfd.n_samples
+        self._m_arrivals.inc(mfd.n_samples)
         return self
 
     def score(self, data) -> np.ndarray:
@@ -885,24 +913,31 @@ class StreamingDetector:
 
     def process(self, data) -> StreamBatchResult:
         """One online step: score, threshold, drift-check, ingest."""
+        start = time.perf_counter() if self.telemetry.enabled else 0.0
         mfd = self._coerce(data)
         items = self._featurize(mfd)
         self.n_seen += mfd.n_samples
+        self._m_arrivals.inc(mfd.n_samples)
         if not self.ready:
             self._ingest(items)
+            if self.telemetry.enabled:
+                self._m_process_seconds.observe(time.perf_counter() - start)
             return StreamBatchResult(
                 scores=None, flags=None, threshold=None, drift=None,
                 n_reference=self.window.size, warmup=True,
             )
         scores = self._ensure_scorer().score(items, self.window)
         self.n_scored += scores.shape[0]
+        self._m_scored.inc(scores.shape[0])
         threshold_value = None
         flags = None
         if self.threshold is not None:
             threshold_value = self.threshold.update(scores)
             if threshold_value is not None:
                 flags = scores > threshold_value
-                self.n_flagged += int(flags.sum())
+                flagged = int(flags.sum())
+                self.n_flagged += flagged
+                self._m_flagged.inc(flagged)
         # Scores are only distributionally comparable once the reference
         # has stopped growing: while the window fills, every arrival is
         # ranked against a larger sample than the last, which shifts the
@@ -920,6 +955,8 @@ class StreamingDetector:
         else:
             mask = None
         self._ingest(items, mask)
+        if self.telemetry.enabled:
+            self._m_process_seconds.observe(time.perf_counter() - start)
         return StreamBatchResult(
             scores=scores, flags=flags, threshold=threshold_value,
             drift=event, n_reference=self.window.size, warmup=False,

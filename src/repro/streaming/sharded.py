@@ -42,6 +42,7 @@ merged-state kinds need the shard windows in the coordinator.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
@@ -61,6 +62,7 @@ from repro.streaming.online import (
     _HalfspaceState,
 )
 from repro.streaming.window import ReferenceWindow, ReservoirWindow, SlidingWindow
+from repro.telemetry import resolve_telemetry
 from repro.utils.validation import check_int
 
 __all__ = ["SHARD_BACKENDS", "ShardedStreamingDetector"]
@@ -443,6 +445,39 @@ class ShardedStreamingDetector:
         self.n_scored = 0
         self.n_flagged = 0
         self.n_rereferences = 0
+        self.attach_telemetry(resolve_telemetry(context))
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Bind this detector's instruments to ``telemetry``'s registry.
+
+        Mirrors :meth:`StreamingDetector.attach_telemetry`, adding the
+        shard-level series: per-shard window-fill gauges
+        (``streaming_shard_window_fill{shard=i}``) and the partial/merged
+        scoring latency histograms (``streaming_merge_seconds{stage=...}``).
+        """
+        telemetry = resolve_telemetry(None, telemetry)
+        self.telemetry = telemetry
+        self._m_arrivals = telemetry.counter("streaming_arrivals_total", kind=self.kind)
+        self._m_scored = telemetry.counter("streaming_scored_total", kind=self.kind)
+        self._m_flagged = telemetry.counter("streaming_flagged_total", kind=self.kind)
+        self._m_rereferences = telemetry.counter(
+            "streaming_rereferences_total", kind=self.kind
+        )
+        self._m_process_seconds = telemetry.histogram(
+            "streaming_process_seconds", kind=self.kind
+        )
+        self._m_merge_partials = telemetry.histogram(
+            "streaming_merge_seconds", stage="partials"
+        )
+        self._m_merge_merged = telemetry.histogram(
+            "streaming_merge_seconds", stage="merged"
+        )
+        self._m_shard_fill = [
+            telemetry.gauge("streaming_shard_window_fill", shard=str(i))
+            for i in range(self.n_shards)
+        ]
+        if self.drift is not None:
+            self.drift.attach_telemetry(telemetry, kind=self.kind)
 
     # ------------------------------------------------------------------ plumbing
     @property
@@ -553,6 +588,10 @@ class ShardedStreamingDetector:
             )
         for i, (n_seen, _size) in enumerate(results):
             self._shard_seen[i] = n_seen
+        if self.telemetry.enabled:
+            cap = self.capacity // self.n_shards
+            for i, seen in enumerate(self._shard_seen):
+                self._m_shard_fill[i].set(min(seen, cap))
 
     def _rereference(self) -> None:
         """Barrier reset: every shard re-anchors on the same (empty) window."""
@@ -566,6 +605,10 @@ class ShardedStreamingDetector:
         if self.threshold is not None:
             self.threshold.reset()
         self.n_rereferences += 1
+        self._m_rereferences.inc()
+        if self.telemetry.enabled:
+            for gauge in self._m_shard_fill:
+                gauge.set(0)
 
     # ------------------------------------------------------------------ scoring
     def _score_partials(self, items: np.ndarray) -> np.ndarray:
@@ -670,11 +713,21 @@ class ShardedStreamingDetector:
 
     def _score_items(self, items: np.ndarray) -> np.ndarray:
         if self._partial_mode:
+            if self.telemetry.enabled:
+                start = time.perf_counter()
+                scores = self._score_partials(items)
+                self._m_merge_partials.observe(time.perf_counter() - start)
+                return scores
             return self._score_partials(items)
         if self.backend == "process":  # pragma: no cover - guarded at init
             raise ValidationError(
                 "merged-window scoring is unavailable on the process backend"
             )
+        if self.telemetry.enabled:
+            start = time.perf_counter()
+            scores = self._score_merged(items)
+            self._m_merge_merged.observe(time.perf_counter() - start)
+            return scores
         return self._score_merged(items)
 
     def _shard_splits(self, scores: np.ndarray) -> list[np.ndarray]:
@@ -691,6 +744,7 @@ class ShardedStreamingDetector:
         mfd = self._coerce(reference)
         self._ingest(mfd.values)
         self.n_seen += mfd.n_samples
+        self._m_arrivals.inc(mfd.n_samples)
         return self
 
     def score(self, data) -> np.ndarray:
@@ -714,17 +768,22 @@ class ShardedStreamingDetector:
         in, a drift event triggers the coordinated re-reference barrier,
         then the chunk is dealt into the shard windows.
         """
+        start = time.perf_counter() if self.telemetry.enabled else 0.0
         mfd = self._coerce(data)
         items = mfd.values
         self.n_seen += mfd.n_samples
+        self._m_arrivals.inc(mfd.n_samples)
         if not self.ready:
             self._ingest(items)
+            if self.telemetry.enabled:
+                self._m_process_seconds.observe(time.perf_counter() - start)
             return StreamBatchResult(
                 scores=None, flags=None, threshold=None, drift=None,
                 n_reference=self.n_reference, warmup=True,
             )
         scores = self._score_items(items)
         self.n_scored += scores.shape[0]
+        self._m_scored.inc(scores.shape[0])
         splits = self._shard_splits(scores)
         was_full = self.window_full
         self._scored_count += scores.shape[0]
@@ -734,7 +793,9 @@ class ShardedStreamingDetector:
             threshold_value = self.threshold.update(splits)
             if threshold_value is not None:
                 flags = scores > threshold_value
-                self.n_flagged += int(flags.sum())
+                n_flagged = int(flags.sum())
+                self.n_flagged += n_flagged
+                self._m_flagged.inc(n_flagged)
         event = None
         if self.drift is not None and was_full:
             event = self.drift.update(splits)
@@ -747,6 +808,8 @@ class ShardedStreamingDetector:
         else:
             mask = None
         self._ingest(items, mask)
+        if self.telemetry.enabled:
+            self._m_process_seconds.observe(time.perf_counter() - start)
         return StreamBatchResult(
             scores=scores, flags=flags, threshold=threshold_value,
             drift=event, n_reference=self.n_reference, warmup=False,

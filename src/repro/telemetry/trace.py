@@ -1,0 +1,182 @@
+"""Low-overhead span tracer producing per-request trace trees.
+
+A *span* is one timed region with a name and attributes; spans opened
+while another span is active on the same thread nest under it, so one
+request produces one **trace tree**.  Every tree carries a stable
+``trace_id`` (assigned when its root opens, monotonic within the
+process) that the HTTP front door echoes back in the ``X-Trace-Id``
+response header — the handle that links a client-observed latency to
+the server-side tree explaining it.
+
+Two entry points:
+
+* :meth:`Tracer.span` — a context manager for synchronous code;
+  nesting follows the thread-local span stack.
+* :meth:`Tracer.start_span` — a detached root handle (``.end()``) for
+  transport code that cannot hold a span open across ``await``
+  boundaries (an asyncio event loop interleaves requests on one
+  thread, which would corrupt a stack-based parent).
+
+Completed root trees are kept in a bounded ring buffer
+(:meth:`Tracer.traces`) and export as JSON Lines — one tree per line —
+via :meth:`Tracer.export_jsonl`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+
+__all__ = ["Tracer"]
+
+
+class _SpanHandle:
+    """One open span: context manager *and* detached-root handle."""
+
+    __slots__ = ("_tracer", "node", "_start", "_detached", "_done")
+
+    def __init__(self, tracer: "Tracer", node: dict, detached: bool):
+        self._tracer = tracer
+        self.node = node
+        self._start = time.perf_counter()
+        self._detached = detached
+        self._done = False
+
+    @property
+    def trace_id(self) -> str:
+        return self.node["trace_id"]
+
+    @property
+    def span_id(self) -> str:
+        return self.node["span_id"]
+
+    def set(self, **attrs) -> None:
+        """Attach (or overwrite) attributes on the open span."""
+        self.node["attrs"].update(attrs)
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None:
+            self.node["attrs"]["error"] = f"{exc_type.__name__}: {exc}"
+        self.end()
+
+    def end(self) -> None:
+        """Close the span (idempotent); roots land in the trace buffer."""
+        if self._done:
+            return
+        self._done = True
+        self.node["duration_s"] = time.perf_counter() - self._start
+        self._tracer._finish(self, detached=self._detached)
+
+
+class Tracer:
+    """Thread-safe span tracer with a bounded completed-trace buffer.
+
+    Parameters
+    ----------
+    max_traces:
+        Completed root trees retained (oldest evicted first).
+    """
+
+    def __init__(self, max_traces: int = 256):
+        self._lock = threading.Lock()
+        self._traces: deque[dict] = deque(maxlen=int(max_traces))
+        self._local = threading.local()
+        self._trace_seq = itertools.count(1)
+        self._span_seq = itertools.count(1)
+        self._token = f"{os.getpid():08x}"
+
+    # ------------------------------------------------------------------ spans
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _node(self, name: str, attrs: dict, parent: dict | None) -> dict:
+        if parent is None:
+            trace_id = f"{self._token}-{next(self._trace_seq):06x}"
+            parent_id = None
+        else:
+            trace_id = parent["trace_id"]
+            parent_id = parent["span_id"]
+        return {
+            "name": name,
+            "trace_id": trace_id,
+            "span_id": f"s{next(self._span_seq):06x}",
+            "parent_id": parent_id,
+            "start_unix_s": time.time(),
+            "duration_s": None,
+            "attrs": dict(attrs),
+            "children": [],
+        }
+
+    def span(self, name: str, **attrs) -> _SpanHandle:
+        """Open a nested span; use as ``with tracer.span("step"):``."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        handle = _SpanHandle(self, self._node(name, attrs, parent), detached=False)
+        stack.append(handle.node)
+        return handle
+
+    def start_span(self, name: str, **attrs) -> _SpanHandle:
+        """Open a detached root span (no thread-local nesting); call
+        ``.end()`` — or use ``with`` — when the request completes."""
+        return _SpanHandle(self, self._node(name, attrs, None), detached=True)
+
+    def _finish(self, handle: _SpanHandle, detached: bool) -> None:
+        node = handle.node
+        if detached:
+            with self._lock:
+                self._traces.append(node)
+            return
+        stack = self._stack()
+        # Tolerate out-of-order exits (a generator GC'd mid-iteration):
+        # drop the node and everything opened after it.
+        while stack:
+            top = stack.pop()
+            if top is node:
+                break
+        if node["parent_id"] is None:
+            with self._lock:
+                self._traces.append(node)
+        else:
+            parent = stack[-1] if stack else None
+            if parent is not None and parent["span_id"] == node["parent_id"]:
+                parent["children"].append(node)
+            else:  # pragma: no cover - orphaned by out-of-order teardown
+                with self._lock:
+                    self._traces.append(node)
+
+    def current_trace_id(self) -> str | None:
+        """Trace ID of the innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1]["trace_id"] if stack else None
+
+    # ------------------------------------------------------------------ export
+    def traces(self) -> list[dict]:
+        """Completed root trees, oldest first (deep structure, live dicts)."""
+        with self._lock:
+            return list(self._traces)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+    def export_jsonl(self, path_or_file) -> int:
+        """Write one JSON line per completed trace tree; returns the count."""
+        trees = self.traces()
+        if hasattr(path_or_file, "write"):
+            for tree in trees:
+                path_or_file.write(json.dumps(tree) + "\n")
+        else:
+            with open(path_or_file, "w", encoding="utf-8") as fh:
+                for tree in trees:
+                    fh.write(json.dumps(tree) + "\n")
+        return len(trees)

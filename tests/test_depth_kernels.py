@@ -315,7 +315,7 @@ class TestBenchDepthCli:
         trajectory = json.loads(out.read_text())
         assert len(trajectory) == 1
         record = trajectory[0]
-        assert record["schema_version"] == 2
+        assert record["schema_version"] == 3
         assert record["bench"] == "depth_kernels"
         assert record["workload"]["cpu_count"] == os.cpu_count()
         kernels = {r["kernel"] for r in record["results"]}
